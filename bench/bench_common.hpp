@@ -1,0 +1,98 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every binary accepts `--paper` to run the paper's Table-2 input sizes
+// (defaults are reduced; see workloads/catalog.*) and `--apps a,b,c` to
+// restrict the application list.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+namespace dsm::bench {
+
+struct Options {
+  Scale scale = Scale::kDefault;
+  std::vector<std::string> apps = paper_apps();
+};
+
+inline Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) o.scale = Scale::kPaper;
+    if (std::strcmp(argv[i], "--tiny") == 0) o.scale = Scale::kTiny;
+    if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
+      o.apps.clear();
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        o.apps.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+    }
+  }
+  return o;
+}
+
+// Run `systems` x `apps`, normalize each app's row against a perfect
+// CC-NUMA run of the same app, and return series keyed like the paper's
+// figures (values = normalized execution time).
+struct NormalizedGrid {
+  std::vector<std::string> apps;
+  std::vector<Series> series;        // one per system
+  std::vector<RunResult> results;    // row-major: system-major order
+  std::vector<RunResult> baselines;  // per app
+};
+
+inline NormalizedGrid run_normalized(
+    const std::vector<std::pair<std::string, RunSpec>>& systems,
+    const std::vector<std::string>& apps, Scale scale) {
+  std::vector<RunSpec> specs;
+  for (const auto& app : apps) {
+    RunSpec base = paper_spec(SystemKind::kPerfectCcNuma, app, scale);
+    specs.push_back(base);
+  }
+  for (const auto& [name, proto] : systems) {
+    for (const auto& app : apps) {
+      RunSpec s = proto;
+      s.workload = app;
+      s.scale = scale;
+      specs.push_back(s);
+    }
+  }
+  auto results = run_matrix(specs);
+
+  NormalizedGrid grid;
+  grid.apps = apps;
+  grid.baselines.assign(results.begin(), results.begin() + apps.size());
+  for (std::size_t sys = 0; sys < systems.size(); ++sys) {
+    Series s;
+    s.name = systems[sys].first;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const RunResult& r = results[apps.size() * (sys + 1) + a];
+      s.values.push_back(r.normalized_to(grid.baselines[a]));
+      grid.results.push_back(r);
+    }
+    grid.series.push_back(std::move(s));
+  }
+  return grid;
+}
+
+inline void print_geomean_row(const NormalizedGrid& grid) {
+  std::printf("geometric means:\n");
+  for (const auto& s : grid.series) {
+    double logsum = 0;
+    for (double v : s.values) logsum += std::log(v);
+    std::printf("  %-18s %.3f\n", s.name.c_str(),
+                std::exp(logsum / double(s.values.size())));
+  }
+}
+
+}  // namespace dsm::bench

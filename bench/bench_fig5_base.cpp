@@ -1,0 +1,35 @@
+// Figure 5: base performance comparison.
+//
+// Normalized execution time (vs. perfect CC-NUMA) for CC-NUMA, CC-NUMA
+// with replication only (Rep), migration only (Mig), both (MigRep),
+// R-NUMA, and R-NUMA with an infinite page cache, across the seven
+// applications. The paper's reading: CC-NUMA averages ~1.6x perfect,
+// MigRep improves ~20% over CC-NUMA, R-NUMA ~40% and is best overall.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dsm;
+using namespace dsm::bench;
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  std::printf(
+      "=== Figure 5: normalized execution time (vs perfect CC-NUMA) ===\n"
+      "scale: %s\n\n",
+      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)");
+
+  const std::vector<std::pair<std::string, RunSpec>> systems = {
+      {"CC-NUMA", paper_spec(SystemKind::kCcNuma, "")},
+      {"Rep", paper_spec(SystemKind::kCcNumaRep, "")},
+      {"Mig", paper_spec(SystemKind::kCcNumaMig, "")},
+      {"MigRep", paper_spec(SystemKind::kCcNumaMigRep, "")},
+      {"R-NUMA", paper_spec(SystemKind::kRNuma, "")},
+      {"R-NUMA-Inf", paper_spec(SystemKind::kRNumaInf, "")},
+  };
+  NormalizedGrid grid = run_normalized(systems, opt.apps, opt.scale);
+  std::printf("%s\n", render_series(grid.apps, grid.series).c_str());
+  print_geomean_row(grid);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Table 2: applications and input parameters (live from the catalog,
+// at both the paper scale and the reduced default scale).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dsm;
+using namespace dsm::bench;
+
+int main(int, char**) {
+  std::printf("=== Table 2: applications and input data sets ===\n\n");
+  Table t({"application", "paper input", "default (bench) input"});
+  for (const auto& app : paper_apps()) {
+    t.add_row()
+        .cell(app)
+        .cell(workload_input_description(app, Scale::kPaper))
+        .cell(workload_input_description(app, Scale::kDefault));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "synthetic sharing-pattern micro-workloads (tests/examples): "
+      "read_shared, migratory, producer_consumer\n");
+  return 0;
+}

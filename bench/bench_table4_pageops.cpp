@@ -1,0 +1,56 @@
+// Table 4: per-node page operations and remote misses.
+//
+// Columns mirror the paper: migrations and replications per node
+// (CC-NUMA+MigRep), page-cache relocations per node (R-NUMA), and the
+// overall remote misses (capacity/conflict in parentheses, x1000) on
+// CC-NUMA, CC-NUMA+MigRep and R-NUMA.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dsm;
+using namespace dsm::bench;
+
+namespace {
+std::string misses_cell(const RunResult& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f (%.1f)",
+                r.stats.remote_misses_per_node() / 1000.0,
+                r.stats.capacity_misses_per_node() / 1000.0);
+  return buf;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  std::printf(
+      "=== Table 4: per-node page operations and remote misses ===\n"
+      "scale: %s   (misses reported x1000, capacity/conflict in parens)\n\n",
+      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)");
+
+  std::vector<RunSpec> specs;
+  for (const auto& app : opt.apps) {
+    specs.push_back(paper_spec(SystemKind::kCcNuma, app, opt.scale));
+    specs.push_back(paper_spec(SystemKind::kCcNumaMigRep, app, opt.scale));
+    specs.push_back(paper_spec(SystemKind::kRNuma, app, opt.scale));
+  }
+  auto results = run_matrix(specs);
+
+  Table t({"app", "mig/node", "rep/node", "reloc/node", "CC-NUMA",
+           "CC-NUMA+MigRep", "R-NUMA"});
+  for (std::size_t a = 0; a < opt.apps.size(); ++a) {
+    const RunResult& cc = results[3 * a];
+    const RunResult& mr = results[3 * a + 1];
+    const RunResult& rn = results[3 * a + 2];
+    t.add_row()
+        .cell(opt.apps[a])
+        .cell(mr.stats.migrations_per_node(), 1)
+        .cell(mr.stats.replications_per_node(), 1)
+        .cell(rn.stats.relocations_per_node(), 1)
+        .cell(misses_cell(cc))
+        .cell(misses_cell(mr))
+        .cell(misses_cell(rn));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

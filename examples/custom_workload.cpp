@@ -1,0 +1,112 @@
+// Scenario: writing your own workload against the public API.
+//
+// Implements a small parallel histogram-equalization-style kernel from
+// scratch — shared input image, shared histogram updated under a lock,
+// barrier-separated phases — and runs it on two systems. Use this as
+// the template for porting your own shared-memory programs onto the
+// simulator: the kernel below is ordinary C++ with co_await at shared
+// accesses.
+//
+//   $ ./examples/custom_workload
+#include <cstdio>
+#include <memory>
+
+#include "protocols/system_factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "workloads/workload.hpp"
+
+using namespace dsm;
+
+namespace {
+
+class HistogramWorkload final : public Workload {
+ public:
+  std::string name() const override { return "histogram"; }
+
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override {
+    nthreads_ = nthreads;
+    image_ = space.alloc<std::uint32_t>(kPixels);
+    histo_ = space.alloc<std::uint32_t>(kBins);
+    Rng rng(1234);
+    for (std::uint32_t i = 0; i < kPixels; ++i)
+      image_.host(i) = std::uint32_t(rng.next_below(kBins));
+    barrier_ = std::make_unique<Barrier>(engine, nthreads);
+    lock_ = std::make_unique<Lock>(engine);
+  }
+
+  SimCall<> body(WorkerCtx& ctx) override {
+    Cpu& cpu = *ctx.cpu;
+    const std::uint32_t chunk = (kPixels + ctx.nthreads - 1) / ctx.nthreads;
+    const std::uint32_t lo = ctx.tid * chunk;
+    const std::uint32_t hi = std::min(kPixels, lo + chunk);
+
+    // Phase 1: private partial histogram (reads are the traffic).
+    std::uint32_t local[kBins] = {0};
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::uint32_t px = co_await image_.rd(cpu, i);
+      local[px]++;
+      co_await cpu.compute(2);
+    }
+    // Phase 2: merge under a lock (read-write shared page).
+    co_await lock_->acquire(cpu);
+    for (std::uint32_t b = 0; b < kBins; ++b) {
+      if (local[b] == 0) continue;
+      const std::uint32_t cur = co_await histo_.rd(cpu, b);
+      co_await histo_.wr(cpu, b, cur + local[b]);
+    }
+    lock_->release(cpu);
+    co_await barrier_->arrive(cpu);
+  }
+
+  void verify() override {
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < kBins; ++b) total += histo_.host(b);
+    DSM_ASSERT(total == kPixels, "histogram lost pixels");
+  }
+
+ private:
+  static constexpr std::uint32_t kPixels = 64 * 1024;
+  static constexpr std::uint32_t kBins = 256;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<std::uint32_t> image_;
+  SharedArray<std::uint32_t> histo_;
+  std::unique_ptr<Barrier> barrier_;
+  std::unique_ptr<Lock> lock_;
+};
+
+Cycle run_on(SystemKind kind, HistogramWorkload& wl) {
+  SystemConfig cfg = SystemConfig::base(kind);
+  Stats stats(cfg.nodes);
+  auto system = make_system(cfg, &stats);
+  Engine engine(cfg, system.get(), &stats);
+  SharedSpace space;
+  wl.setup(engine, space, cfg.total_cpus());
+  std::vector<WorkerCtx> ctxs(cfg.total_cpus());
+  for (std::uint32_t t = 0; t < cfg.total_cpus(); ++t) {
+    ctxs[t] = WorkerCtx{&engine.cpu(t), t, cfg.total_cpus(), Rng(t)};
+    engine.spawn(t, wl.body(ctxs[t]));
+  }
+  engine.run();
+  wl.verify();
+  std::printf("  %-16s %llu cycles, %llu barriers, %llu lock acquires\n",
+              to_string(kind), (unsigned long long)engine.finish_time(),
+              (unsigned long long)stats.barriers,
+              (unsigned long long)stats.lock_acquires);
+  return engine.finish_time();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom workload: parallel histogram on 32 simulated CPUs\n");
+  HistogramWorkload a, b;
+  run_on(SystemKind::kCcNuma, a);
+  run_on(SystemKind::kRNuma, b);
+  std::printf(
+      "\nThe whole kernel is ~40 lines: SharedArray accessors issue timed\n"
+      "references, sync objects come from sim/sync.hpp, and verify() checks\n"
+      "the result computed *through* the simulated memory system.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scenario: dense matrix factorization on a DSM cluster.
+//
+// LU is the paper's page-replication showcase: each iteration's
+// perimeter blocks are written once and then read by every interior
+// owner. This example factors a matrix on four systems and reports
+// where the traffic went — block-cache hits, page-cache hits, page
+// operations — so the mechanisms are visible, not just the bottom line.
+//
+//   $ ./examples/matrix_factorization [--paper]
+#include <cstdio>
+#include <cstring>
+
+#include "harness/runner.hpp"
+
+using namespace dsm;
+
+int main(int argc, char** argv) {
+  const bool paper = argc > 1 && std::strcmp(argv[1], "--paper") == 0;
+  const Scale scale = paper ? Scale::kPaper : Scale::kDefault;
+  std::printf("blocked LU factorization (%s scale) on four DSM designs\n\n",
+              paper ? "512x512 paper" : "384x384 default");
+
+  const SystemKind kinds[] = {SystemKind::kPerfectCcNuma, SystemKind::kCcNuma,
+                              SystemKind::kCcNumaMigRep, SystemKind::kRNuma};
+  std::vector<RunSpec> specs;
+  for (SystemKind k : kinds) specs.push_back(paper_spec(k, "lu", scale));
+  auto results = run_matrix(specs);
+
+  const RunResult& base = results[0];
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunResult& r = results[i];
+    std::uint64_t bc_hits = 0, pc_hits = 0;
+    for (const auto& n : r.stats.node) {
+      bc_hits += n.bc_hits;
+      pc_hits += n.pc_hits;
+    }
+    std::printf("%-16s normalized=%.3f  remote-misses/node=%.0f"
+                "  bc-hits=%llu  pc-hits=%llu  mig=%llu rep=%llu reloc=%llu\n",
+                to_string(specs[i].system.kind), r.normalized_to(base),
+                r.stats.remote_misses_per_node(),
+                (unsigned long long)bc_hits, (unsigned long long)pc_hits,
+                (unsigned long long)r.stats.page_migrations_total(),
+                (unsigned long long)r.stats.page_replications_total(),
+                (unsigned long long)r.stats.page_relocations_total());
+  }
+
+  std::printf(
+      "\nReading the output: CC-NUMA pays capacity/conflict misses on the\n"
+      "read-shared perimeter blocks; R-NUMA relocates those pages into the\n"
+      "page cache and converts the misses into local fills. The factorization\n"
+      "itself is verified against the original matrix (L*U == A sampling).\n");
+  return 0;
+}

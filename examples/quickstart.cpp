@@ -1,0 +1,42 @@
+// Quickstart: build a DSM cluster, run a workload on two systems,
+// compare execution time and traffic.
+//
+//   $ ./examples/quickstart
+//
+// Shows the three lines every dsmsim program needs: pick a SystemConfig
+// (which DSM protocol, what machine shape), pick a workload from the
+// catalog, and call run_one().
+#include <cstdio>
+
+#include "harness/runner.hpp"
+
+using namespace dsm;
+
+int main() {
+  std::printf("dsmsim quickstart: radix sort on an 8-node DSM cluster\n\n");
+
+  // A RunSpec bundles the machine (SystemConfig) and the workload.
+  RunSpec ccnuma = paper_spec(SystemKind::kCcNuma, "radix", Scale::kTiny);
+  RunSpec rnuma = paper_spec(SystemKind::kRNuma, "radix", Scale::kTiny);
+  RunSpec perfect =
+      paper_spec(SystemKind::kPerfectCcNuma, "radix", Scale::kTiny);
+
+  // run_one() simulates the full program (and verifies the sort!).
+  RunResult base = run_one(perfect);
+  for (const RunSpec& spec : {ccnuma, rnuma}) {
+    RunResult r = run_one(spec);
+    std::printf("%-16s cycles=%-12llu normalized=%.3f remote-misses/node=%.0f"
+                " (%.0f capacity)\n",
+                to_string(spec.system.kind), (unsigned long long)r.cycles,
+                r.normalized_to(base), r.stats.remote_misses_per_node(),
+                r.stats.capacity_misses_per_node());
+  }
+  std::printf("%-16s cycles=%-12llu (normalization baseline)\n",
+              to_string(perfect.system.kind), (unsigned long long)base.cycles);
+
+  std::printf(
+      "\nThe sort ran to completion inside the simulator — run_one() checks\n"
+      "the output is ordered. Try Scale::kDefault or Scale::kPaper for the\n"
+      "paper's input sizes, or any SystemKind from common/config.hpp.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// System and timing configuration.
+//
+// TimingConfig encodes the paper's Table 3 cost model as named
+// components. The components are calibrated so that an *unloaded* local
+// miss costs exactly 104 processor cycles and an unloaded clean remote
+// miss costs exactly 418 cycles (618 MHz dual-issue CPUs, 100 MHz bus,
+// 80-cycle point-to-point network). tests/common/config_test.cpp pins
+// these sums.
+//
+// SystemConfig selects the protocol variant and the machine shape
+// (8 nodes x 4 CPUs in the paper's base system).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+// Which DSM system to build. Mirrors the systems compared in the paper.
+enum class SystemKind {
+  kCcNuma,          // base CC-NUMA with a finite SRAM block cache
+  kPerfectCcNuma,   // infinite block cache: the normalization baseline
+  kCcNumaRep,       // CC-NUMA + page replication only
+  kCcNumaMig,       // CC-NUMA + page migration only
+  kCcNumaMigRep,    // CC-NUMA + both (the paper's MigRep)
+  kRNuma,           // reactive CC-NUMA/S-COMA hybrid with a page cache
+  kRNumaInf,        // R-NUMA with an infinite page cache
+  kRNumaMigRep,     // R-NUMA + MigRep integration (Section 6.4)
+};
+
+const char* to_string(SystemKind k);
+
+// True for systems that include the MigRep monitoring/movement machinery.
+bool uses_migrep(SystemKind k);
+// True for systems that include the S-COMA page cache machinery.
+bool uses_page_cache(SystemKind k);
+
+// All costs in 600 MHz processor cycles (1 bus cycle = 6 CPU cycles).
+struct TimingConfig {
+  // --- block-level components -------------------------------------------
+  Cycle l1_hit = 1;            // pipelined; charged against dual-issue IPC
+  Cycle l1_miss_detect = 4;    // tag check + miss path to bus interface
+  Cycle bus_arb = 6;           // split-transaction bus arbitration (1 bus cyc)
+  Cycle bus_addr = 6;          // address phase
+  Cycle bus_data = 12;         // data phase occupancy for a 64-byte block
+  Cycle mem_access = 66;       // interleaved DRAM access at the node
+  Cycle fill = 10;             // critical-word fill into L1 and restart
+  // Local miss total: l1_miss_detect + bus_arb + bus_addr + mem_access +
+  //                   bus_data + fill = 104.
+
+  // Cluster-device components (remote path).
+  Cycle bc_lookup = 12;        // SRAM block-cache / fine-grain tag lookup
+  Cycle dir_lookup = 24;       // home directory SRAM lookup + FSM dispatch
+  Cycle ni_send = 16;          // network-interface send occupancy per message
+  Cycle ni_recv = 16;          // network-interface receive occupancy
+  Cycle net_latency = 80;      // point-to-point wire latency (Table 3)
+  Cycle protocol_fsm = 48;     // protocol engine occupancy per hop pair
+  // Remote clean miss total (request + reply through home memory):
+  //   l1_miss_detect + bus_arb + bus_addr + bc_lookup
+  // + ni_send + net_latency + ni_recv + dir_lookup + protocol_fsm
+  // + mem_access + ni_send + net_latency + ni_recv
+  // + bus_arb + bus_data + fill = 418.
+
+  // --- page-level components (Table 3) ------------------------------------
+  Cycle soft_trap = 3000;          // page faults, relocation interrupts
+  Cycle tlb_shootdown = 300;       // per-node TLB invalidation
+  Cycle page_op_fixed = 3000;      // fixed part of alloc/replace/relocate
+  Cycle page_op_per_block = 133;   // + per flushed block (64 blocks -> ~11500)
+  Cycle page_copy_fixed = 8000;    // fixed part of a page copy (mig/rep)
+  Cycle page_copy_per_block = 215; // + per copied block (64 blocks -> ~21800)
+
+  // --- policy thresholds ---------------------------------------------------
+  std::uint32_t migrep_threshold = 800;       // misses before mig/rep fires
+  std::uint64_t migrep_reset_interval = 32000; // counted misses between resets
+  std::uint32_t rnuma_threshold = 32;         // refetches before relocation
+  // R-NUMA+MigRep integration: relocation allowed only after this many
+  // misses to a page (Section 6.4's "initial preset interval").
+  std::uint64_t rnuma_relocation_delay_misses = 0;
+
+  // Derived sums for the unloaded latency contract.
+  Cycle local_miss_total() const {
+    return l1_miss_detect + bus_arb + bus_addr + mem_access + bus_data + fill;
+  }
+  Cycle remote_clean_miss_total() const {
+    return l1_miss_detect + bus_arb + bus_addr + bc_lookup + ni_send +
+           net_latency + ni_recv + dir_lookup + protocol_fsm + mem_access +
+           ni_send + net_latency + ni_recv + bus_arb + bus_data + fill;
+  }
+
+  // Page-operation charges (n = number of blocks flushed/copied).
+  Cycle page_op_cost(unsigned blocks) const {
+    return page_op_fixed + Cycle(blocks) * page_op_per_block;
+  }
+  Cycle page_copy_cost(unsigned blocks) const {
+    return page_copy_fixed + Cycle(blocks) * page_copy_per_block;
+  }
+
+  // The paper's "slow" variant (Section 6.2): ten-fold kernel overheads,
+  // no page-flush/TLB hardware, larger thresholds.
+  static TimingConfig fast_page_ops();
+  static TimingConfig slow_page_ops();
+  // Section 6.3: network latency chosen so remote:local = 16.
+  static TimingConfig long_latency();
+};
+
+struct SystemConfig {
+  SystemKind kind = SystemKind::kCcNuma;
+  TimingConfig timing{};
+
+  std::uint32_t nodes = 8;
+  std::uint32_t cpus_per_node = 4;
+
+  // Caches. The paper: 16-KByte direct-mapped L1s, a 64-KByte inclusive
+  // node block cache (= sum of the node's L1s), and a 2.4-MByte S-COMA
+  // page cache (40x the block cache).
+  std::uint64_t l1_bytes = 16 * 1024;
+  std::uint64_t block_cache_bytes = 64 * 1024;
+  std::uint64_t page_cache_bytes = 2400 * 1024;
+
+  // MigRep monitoring hardware: number of pages per home node for which
+  // miss counters physically exist. Real implementations provide "only
+  // a 'cache' of miss counters as opposed to per-page counters for all
+  // of memory" (Section 6.4); when the cache overflows, the LRU page's
+  // counters are lost. 0 = unlimited (the paper's base assumption).
+  std::uint32_t migrep_counter_cache_pages = 0;
+
+  // Scheduling quantum for the execution-driven engine; bounded by the
+  // network latency as in the Wisconsin Wind Tunnel.
+  Cycle quantum = 80;
+
+  std::uint64_t seed = 0x5eed5eedULL;
+
+  std::uint32_t total_cpus() const { return nodes * cpus_per_node; }
+  std::uint64_t page_cache_pages() const { return page_cache_bytes / kPageBytes; }
+
+  // Convenience factories for the paper's named systems.
+  static SystemConfig base(SystemKind kind);
+};
+
+}  // namespace dsm

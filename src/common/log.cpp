@@ -1,0 +1,12 @@
+#include "common/log.hpp"
+
+namespace dsm {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "dsmsim: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace dsm

@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+namespace dsm {
+
+const char* to_string(MissClass c) {
+  switch (c) {
+    case MissClass::kCold: return "cold";
+    case MissClass::kCoherence: return "coherence";
+    case MissClass::kCapacity: return "capacity/conflict";
+    default: return "?";
+  }
+}
+
+MissBreakdown Stats::remote_misses_total() const {
+  MissBreakdown sum;
+  for (const auto& n : node) sum += n.remote_misses;
+  return sum;
+}
+
+std::uint64_t Stats::page_migrations_total() const {
+  std::uint64_t s = 0;
+  for (const auto& n : node) s += n.page_migrations;
+  return s;
+}
+
+std::uint64_t Stats::page_replications_total() const {
+  std::uint64_t s = 0;
+  for (const auto& n : node) s += n.page_replications;
+  return s;
+}
+
+std::uint64_t Stats::page_relocations_total() const {
+  std::uint64_t s = 0;
+  for (const auto& n : node) s += n.page_relocations;
+  return s;
+}
+
+double Stats::remote_misses_per_node() const {
+  if (node.empty()) return 0.0;
+  return double(remote_misses_total().total()) / double(node.size());
+}
+
+double Stats::capacity_misses_per_node() const {
+  if (node.empty()) return 0.0;
+  return double(remote_misses_total().capacity_conflict()) /
+         double(node.size());
+}
+
+double Stats::migrations_per_node() const {
+  if (node.empty()) return 0.0;
+  return double(page_migrations_total()) / double(node.size());
+}
+
+double Stats::replications_per_node() const {
+  if (node.empty()) return 0.0;
+  return double(page_replications_total()) / double(node.size());
+}
+
+double Stats::relocations_per_node() const {
+  if (node.empty()) return 0.0;
+  return double(page_relocations_total()) / double(node.size());
+}
+
+}  // namespace dsm

@@ -1,0 +1,95 @@
+// Simulation statistics.
+//
+// Every protocol/system populates the same Stats tree so the harness can
+// extract Table-4 style counts and execution times uniformly. Counters
+// are plain uint64 — the simulation core is single-threaded; cross-run
+// parallelism in the harness gives each run its own Stats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+// Why an access missed in a cache. "Capacity/conflict" is the class the
+// paper targets: the block was present earlier and was lost to
+// replacement (not to a coherence invalidation).
+enum class MissClass : std::uint8_t {
+  kCold = 0,       // first reference to the block by this cache
+  kCoherence,      // lost to an invalidation / downgrade
+  kCapacity,       // lost to replacement (capacity or conflict)
+  kCount,
+};
+
+const char* to_string(MissClass c);
+
+struct MissBreakdown {
+  std::uint64_t by_class[std::size_t(MissClass::kCount)] = {0, 0, 0};
+
+  void record(MissClass c) { by_class[std::size_t(c)]++; }
+  std::uint64_t total() const {
+    return by_class[0] + by_class[1] + by_class[2];
+  }
+  std::uint64_t capacity_conflict() const {
+    return by_class[std::size_t(MissClass::kCapacity)];
+  }
+  MissBreakdown& operator+=(const MissBreakdown& o) {
+    for (std::size_t i = 0; i < std::size_t(MissClass::kCount); ++i)
+      by_class[i] += o.by_class[i];
+    return *this;
+  }
+};
+
+// Per-node statistics. "Remote miss" here means a cache-fill request that
+// had to leave the node (block-cache / page-cache miss on a remote page,
+// or a coherence fetch), i.e. the traffic the paper counts in Table 4.
+struct NodeStats {
+  MissBreakdown remote_misses;     // node-level remote traffic
+  MissBreakdown l1_misses;         // processor-cache misses (all)
+  std::uint64_t local_mem_accesses = 0;  // bus fills served by local memory
+  std::uint64_t bc_hits = 0;             // block-cache hits
+  std::uint64_t pc_hits = 0;             // S-COMA page-cache hits
+
+  // Page operations.
+  std::uint64_t page_migrations = 0;     // pages migrated *to* this node
+  std::uint64_t page_replications = 0;   // replicas created on this node
+  std::uint64_t page_relocations = 0;    // R-NUMA CC-NUMA->S-COMA remaps here
+  std::uint64_t page_cache_evictions = 0;
+  std::uint64_t replica_collapses = 0;   // replicated page switched back to R/W
+  std::uint64_t soft_traps = 0;
+  std::uint64_t tlb_shootdowns = 0;
+
+  std::uint64_t blocks_flushed = 0;      // blocks written back by page flushes
+  std::uint64_t blocks_copied = 0;       // blocks moved by page copies
+};
+
+struct Stats {
+  std::vector<NodeStats> node;           // indexed by NodeId
+  Cycle execution_cycles = 0;            // parallel-phase execution time
+  Cycle total_cycles = 0;                // including sequential init
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t lock_acquires = 0;
+
+  explicit Stats(std::uint32_t nodes = 0) : node(nodes) {}
+
+  // Aggregates used by the harness.
+  MissBreakdown remote_misses_total() const;
+  std::uint64_t page_migrations_total() const;
+  std::uint64_t page_replications_total() const;
+  std::uint64_t page_relocations_total() const;
+
+  // Per-node averages (Table 4 reports per-node numbers).
+  double remote_misses_per_node() const;
+  double capacity_misses_per_node() const;
+  double migrations_per_node() const;
+  double replications_per_node() const;
+  double relocations_per_node() const;
+};
+
+}  // namespace dsm

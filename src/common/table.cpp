@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dsm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  DSM_ASSERT(!rows_.empty(), "cell() before add_row()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string v = c < row.size() ? row[c] : "";
+      if (c == 0) {
+        os << v << std::string(width[c] - v.size(), ' ');
+      } else {
+        os << "  " << std::string(width[c] - v.size(), ' ') << v;
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string render_series(const std::vector<std::string>& labels,
+                          const std::vector<Series>& series, int precision) {
+  std::vector<std::string> headers{"label"};
+  for (const auto& s : series) headers.push_back(s.name);
+  Table t(std::move(headers));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    t.add_row().cell(labels[i]);
+    for (const auto& s : series) {
+      if (i < s.values.size())
+        t.cell(s.values[i], precision);
+      else
+        t.cell(std::string("-"));
+    }
+  }
+  return t.to_string();
+}
+
+}  // namespace dsm

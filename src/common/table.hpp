@@ -1,0 +1,46 @@
+// Plain-text table rendering for the bench harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure
+// through this formatter so the output is uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row assembly. add_row starts a new row; cell appends to the last row.
+  Table& add_row();
+  Table& cell(const std::string& v);
+  Table& cell(double v, int precision = 2);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v) { return cell(std::int64_t(v)); }
+
+  // Render with column alignment (first column left, rest right).
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Helper for figure-style output: one named series of (label, value).
+struct Series {
+  std::string name;
+  std::vector<double> values;  // aligned with the caller's label order
+};
+
+// Render several series as a labelled grid (labels down, series across).
+std::string render_series(const std::vector<std::string>& labels,
+                          const std::vector<Series>& series,
+                          int precision = 3);
+
+}  // namespace dsm

@@ -1,0 +1,40 @@
+// Core scalar types and address arithmetic shared by every module.
+//
+// The simulated machine uses a single global physical address space
+// ("GPA") for shared data. Pages and cache blocks are fixed powers of
+// two; helpers here are the only place that encodes their geometry.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsm {
+
+using Cycle = std::uint64_t;   // simulated processor cycles (600 MHz CPU clock)
+using Addr = std::uint64_t;    // global physical address (GPA)
+using NodeId = std::uint32_t;  // DSM node (SMP box) index
+using CpuId = std::uint32_t;   // global CPU index across the cluster
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+// Geometry of the simulated memory system. 64-byte coherence blocks and
+// 4-KByte pages (64 blocks/page), matching the paper's SPARC-derived node.
+inline constexpr unsigned kBlockBits = 6;
+inline constexpr unsigned kPageBits = 12;
+inline constexpr std::uint64_t kBlockBytes = 1ull << kBlockBits;
+inline constexpr std::uint64_t kPageBytes = 1ull << kPageBits;
+inline constexpr unsigned kBlocksPerPage = 1u << (kPageBits - kBlockBits);
+
+constexpr Addr block_of(Addr a) { return a >> kBlockBits; }
+constexpr Addr page_of(Addr a) { return a >> kPageBits; }
+constexpr Addr block_base(Addr a) { return a & ~(kBlockBytes - 1); }
+constexpr Addr page_base(Addr a) { return a & ~(kPageBytes - 1); }
+constexpr Addr block_addr_of_page_block(Addr page, unsigned blk) {
+  return (page << kPageBits) | (Addr(blk) << kBlockBits);
+}
+constexpr unsigned block_index_in_page(Addr a) {
+  return unsigned((a >> kBlockBits) & (kBlocksPerPage - 1));
+}
+
+}  // namespace dsm

@@ -1,0 +1,112 @@
+#include "dsm/block_cache.hpp"
+
+#include <algorithm>
+
+namespace dsm {
+
+const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kInvalid: return "I";
+    case NodeState::kShared: return "S";
+    case NodeState::kModified: return "M";
+  }
+  return "?";
+}
+
+BlockCache::BlockCache(std::uint64_t bytes, std::uint32_t ways) : ways_(ways) {
+  if (ways_ == 0) {
+    n_sets_ = 0;
+    return;
+  }
+  DSM_ASSERT(bytes % (kBlockBytes * ways_) == 0,
+             "block cache bytes must be a multiple of ways*block");
+  n_sets_ = std::uint32_t(bytes / (kBlockBytes * ways_));
+  DSM_ASSERT(n_sets_ > 0);
+  sets_.resize(n_sets_);
+  for (auto& s : sets_) s.reserve(ways_);
+}
+
+BlockCache::Entry* BlockCache::probe(Addr blk) {
+  if (infinite()) {
+    auto it = map_.find(blk);
+    if (it == map_.end() || it->second.state == NodeState::kInvalid)
+      return nullptr;
+    return &it->second;
+  }
+  for (auto& e : sets_[set_of(blk)])
+    if (e.blk == blk && e.state != NodeState::kInvalid) return &e;
+  return nullptr;
+}
+
+const BlockCache::Entry* BlockCache::probe(Addr blk) const {
+  return const_cast<BlockCache*>(this)->probe(blk);
+}
+
+BlockCache::Victim BlockCache::install(Addr blk, NodeState st) {
+  DSM_DEBUG_ASSERT(st != NodeState::kInvalid);
+  Victim v;
+  if (infinite()) {
+    auto& e = map_[blk];
+    if (e.state == NodeState::kInvalid) size_++;
+    e.blk = blk;
+    e.state = st;
+    e.lru = ++lru_clock_;
+    return v;
+  }
+  auto& set = sets_[set_of(blk)];
+  for (auto& e : set) {
+    if (e.blk == blk) {  // refill of a resident (possibly invalid) frame
+      if (e.state == NodeState::kInvalid) size_++;
+      e.state = st;
+      e.lru = ++lru_clock_;
+      return v;
+    }
+  }
+  // Reuse an invalid frame if present.
+  for (auto& e : set) {
+    if (e.state == NodeState::kInvalid) {
+      e.blk = blk;
+      e.state = st;
+      e.lru = ++lru_clock_;
+      size_++;
+      return v;
+    }
+  }
+  if (set.size() < ways_) {
+    set.push_back(Entry{blk, st, ++lru_clock_});
+    size_++;
+    return v;
+  }
+  // Evict LRU.
+  auto victim = std::min_element(
+      set.begin(), set.end(),
+      [](const Entry& a, const Entry& b) { return a.lru < b.lru; });
+  v.valid = true;
+  v.blk = victim->blk;
+  v.state = victim->state;
+  victim->blk = blk;
+  victim->state = st;
+  victim->lru = ++lru_clock_;
+  return v;
+}
+
+void BlockCache::invalidate(Addr blk) {
+  Entry* e = probe(blk);
+  if (!e) return;
+  e->state = NodeState::kInvalid;
+  DSM_DEBUG_ASSERT(size_ > 0);
+  size_--;
+}
+
+void BlockCache::set_state(Addr blk, NodeState st) {
+  Entry* e = probe(blk);
+  DSM_ASSERT(e != nullptr, "set_state on absent block-cache entry");
+  e->state = st;
+}
+
+void BlockCache::touch(Addr blk) {
+  Entry* e = probe(blk);
+  if (e) e->lru = ++lru_clock_;
+}
+
+}  // namespace dsm

@@ -1,0 +1,83 @@
+// Per-node cluster-device block cache ("remote cache" / "cluster
+// cache"): SRAM, set-associative with LRU, holding remote blocks cached
+// under the CC-NUMA policy. Maintains inclusion with the node's L1s
+// (the cluster system invalidates L1 copies when a frame is evicted).
+//
+// Node-level coherence state is MSI: kShared (clean at this node) or
+// kModified (this node owns the only valid copy cluster-wide; some L1
+// on the node may hold it M/E/O).
+//
+// ways == 0 selects an infinite cache (perfect CC-NUMA's block cache
+// and R-NUMA-Inf's page cache analogue for tests).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+enum class NodeState : std::uint8_t { kInvalid = 0, kShared, kModified };
+
+const char* to_string(NodeState s);
+
+class BlockCache {
+ public:
+  struct Entry {
+    Addr blk = 0;
+    NodeState state = NodeState::kInvalid;
+    std::uint64_t lru = 0;  // higher = more recent
+  };
+  struct Victim {
+    bool valid = false;
+    Addr blk = 0;
+    NodeState state = NodeState::kInvalid;
+  };
+
+  // bytes / ways: geometry. ways == 0 -> infinite (fully associative,
+  // never evicts).
+  BlockCache(std::uint64_t bytes, std::uint32_t ways);
+
+  bool infinite() const { return ways_ == 0; }
+
+  Entry* probe(Addr blk);
+  const Entry* probe(Addr blk) const;
+
+  // Install a block; returns the evicted victim if the set was full.
+  Victim install(Addr blk, NodeState st);
+
+  void invalidate(Addr blk);
+  void set_state(Addr blk, NodeState st);
+  void touch(Addr blk);  // LRU update on hit
+
+  std::uint64_t occupancy() const { return size_; }
+
+  template <typename Fn>
+  void for_each_block_of_page(Addr page, Fn&& fn) {
+    const Addr first = page << (kPageBits - kBlockBits);
+    for (unsigned i = 0; i < kBlocksPerPage; ++i) {
+      Entry* e = probe(first + i);
+      if (e) fn(*e);
+    }
+  }
+
+ private:
+  std::uint32_t set_of(Addr blk) const {
+    return n_sets_ ? std::uint32_t(blk % n_sets_) : 0;
+  }
+
+  std::uint32_t ways_;
+  std::uint32_t n_sets_;
+  std::uint64_t size_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  // Finite: sets_[set] is a small vector of <= ways_ entries.
+  std::vector<std::vector<Entry>> sets_;
+  // Infinite: hash map.
+  std::unordered_map<Addr, Entry> map_;
+};
+
+}  // namespace dsm

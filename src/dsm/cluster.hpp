@@ -1,0 +1,234 @@
+// The DSM cluster system: MemorySystem implementation orchestrating the
+// three-level coherence hierarchy
+//
+//   L1 (MOESI, per CPU)  <-  node bus snoop  <-  node-level MSI
+//   node-level containers: block cache (CC-NUMA), S-COMA page cache
+//   (R-NUMA), read-only replicas (MigRep), or home memory
+//   cluster-level: full-bit-vector home directory over the network.
+//
+// Policy engines (MigRep, R-NUMA relocation) are attached through the
+// HomePolicy / CachePolicy interfaces and implemented in src/protocols.
+// DsmSystem provides the timed *mechanisms* they invoke: page gathering
+// and flushing, page copying, replication, migration, replica collapse,
+// S-COMA relocation and page-cache eviction.
+//
+// Timing model: each access is processed atomically at issue; shared
+// hardware is modeled with busy-until resources (mem/resource.hpp), so
+// the returned completion time includes queueing. Unloaded latencies are
+// calibrated to the paper's Table 3 (local 104 / remote clean 418).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dsm/block_cache.hpp"
+#include "dsm/directory.hpp"
+#include "dsm/page_cache.hpp"
+#include "dsm/page_table.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/resource.hpp"
+#include "net/network.hpp"
+#include "sim/memory_if.hpp"
+
+namespace dsm {
+
+class DsmSystem;
+
+// Home-side policy hook (MigRep lives here).
+class HomePolicy {
+ public:
+  virtual ~HomePolicy() = default;
+  // Called at the home node each time a miss to `page` is counted
+  // (remote fetch, upgrade, or a local home miss). May schedule a page
+  // migration/replication via the DsmSystem mechanisms.
+  virtual void on_page_miss(Addr page, PageInfo& pi, NodeId requester,
+                            bool is_write, Cycle now) = 0;
+};
+
+// Requester-side policy hook (R-NUMA relocation lives here).
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+  // Called at node `n` when a remote fetch is about to be issued for a
+  // block of a CC-NUMA-mapped page. `miss_class` is the node-level
+  // classification. Returns the (possibly delayed) time at which the
+  // fetch may proceed; if the policy relocated the page to S-COMA it
+  // returns the relocation end time and sets the page mode.
+  virtual Cycle on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
+                                MissClass miss_class, Cycle now) = 0;
+};
+
+// Per-node miss-class history at node (cluster-device) level.
+class NodeHistory {
+ public:
+  MissClass classify(Addr blk) {
+    auto [it, inserted] = map_.try_emplace(blk, MissClass::kCapacity);
+    if (inserted) return MissClass::kCold;
+    return it->second;
+  }
+  void mark(Addr blk, MissClass c) { map_[blk] = c; }
+
+ private:
+  std::unordered_map<Addr, MissClass> map_;
+};
+
+// Finite pool of per-page MigRep miss counters at a home node
+// (Section 6.4: real hardware provides a *cache* of counters, not
+// counters for every page of memory). touch() returns the page whose
+// counters were evicted to make room, if any.
+class CounterCache {
+ public:
+  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {}
+
+  bool unlimited() const { return capacity_ == 0; }
+
+  // Returns the evicted page, or kNoPage if none was displaced.
+  static constexpr Addr kNoPage = ~Addr(0);
+  Addr touch(Addr page) {
+    if (unlimited()) return kNoPage;
+    auto [it, inserted] = lru_.try_emplace(page, ++clock_);
+    it->second = ++clock_;
+    if (!inserted || lru_.size() <= capacity_) return kNoPage;
+    auto victim = lru_.begin();
+    for (auto i = lru_.begin(); i != lru_.end(); ++i)
+      if (i->second < victim->second) victim = i;
+    const Addr evicted = victim->first;
+    lru_.erase(victim);
+    evictions_++;
+    return evicted;
+  }
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t size() const { return lru_.size(); }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<Addr, std::uint64_t> lru_;
+};
+
+class DsmSystem : public MemorySystem {
+ public:
+  DsmSystem(const SystemConfig& cfg, Stats* stats);
+  ~DsmSystem() override;
+
+  // ---- MemorySystem ------------------------------------------------------
+  Cycle access(const MemAccess& a) override;
+  void parallel_begin(Cycle now) override;
+  void parallel_end(Cycle now) override;
+
+  // ---- policy attachment (done by the protocol factory) -------------------
+  void set_home_policy(std::unique_ptr<HomePolicy> p);
+  void set_cache_policy(std::unique_ptr<CachePolicy> p);
+
+  // ---- timed page-op mechanisms (called by policies) -----------------------
+  // Replicate `page` read-only at `node`; returns op completion time.
+  Cycle replicate_page(Addr page, NodeId node, Cycle now);
+  // Migrate `page`'s home to `node`; returns op completion time.
+  Cycle migrate_page(Addr page, NodeId node, Cycle now);
+  // Collapse all read-only replicas of `page` (switch back to R/W),
+  // triggered by a write at `writer`; returns time the write may proceed.
+  Cycle collapse_replicas(Addr page, NodeId writer_node, Cycle now);
+  // Relocate `page` at `node` from CC-NUMA to S-COMA mapping (R-NUMA).
+  // Evicts a page-cache frame first if none is free. Returns completion.
+  Cycle relocate_to_scoma(NodeId node, Addr page, Cycle now);
+
+  // ---- introspection (tests, checker, policies) ---------------------------
+  const SystemConfig& config() const { return cfg_; }
+  const TimingConfig& timing() const { return cfg_.timing; }
+  Stats* stats() { return stats_; }
+  PageTable& page_table() { return pt_; }
+  Directory& directory() { return dir_; }
+  Network& network() { return net_; }
+  L1Cache& l1(CpuId cpu) { return *l1_[cpu]; }
+  BlockCache& block_cache(NodeId n) { return *bc_[n]; }
+  PageCache& page_cache(NodeId n) { return *pc_[n]; }
+  Resource& node_bus(NodeId n) { return bus_[n]; }
+  Resource& node_device(NodeId n) { return device_[n]; }
+  NodeHistory& node_history(NodeId n) { return history_[n]; }
+  CounterCache& counter_cache(NodeId n) { return counter_cache_[n]; }
+
+  std::uint32_t nodes() const { return cfg_.nodes; }
+  NodeId node_of_cpu(CpuId c) const { return c / cfg_.cpus_per_node; }
+
+  // Verify every directory entry against the actual cache contents.
+  // Aborts (assert) on violation; used by tests and debug runs.
+  void check_coherence() const;
+
+ private:
+  // ---- access paths --------------------------------------------------------
+  Cycle access_hit_or_upgrade(const MemAccess& a, PageInfo& pi, Addr blk,
+                              L1Cache::Line* ln, Cycle t);
+  Cycle access_local(const MemAccess& a, PageInfo& pi, Addr blk, Cycle t);
+  Cycle access_remote_ccnuma(const MemAccess& a, PageInfo& pi, Addr blk,
+                             Cycle t);
+  Cycle access_scoma(const MemAccess& a, PageInfo& pi, Addr blk, Cycle t);
+  Cycle access_replica(const MemAccess& a, PageInfo& pi, Addr blk, Cycle t);
+
+  // Within-node snoop: if another L1 on the node can supply/upgrade
+  // without leaving the node, handle it. Returns true + updates t.
+  bool snoop_node(const MemAccess& a, Addr blk, Cycle& t);
+
+  // ---- cluster-level transactions ------------------------------------------
+  // Fetch `blk` from its home on behalf of `requester` (GETS/GETX).
+  // Returns the time data arrives at the requester's device and the
+  // node-level state granted (kShared or kModified).
+  Cycle remote_fetch(NodeId requester, Addr page, Addr blk, bool write,
+                     Cycle t, NodeState* granted);
+  // Upgrade: node already holds the block kShared; obtain exclusivity.
+  Cycle remote_upgrade(NodeId requester, Addr page, Addr blk, Cycle t);
+  // Home-side service for an exclusive request: invalidate sharers /
+  // recall from owner. Returns time home memory+dir are consistent.
+  Cycle home_service_exclusive(NodeId home, NodeId requester, Addr blk,
+                               Cycle t);
+  // Home-side recall for a read when a third node owns the block.
+  Cycle home_recall_shared(NodeId home, NodeId requester, Addr blk, Cycle t);
+
+  // ---- node-level helpers ---------------------------------------------------
+  // Invalidate/downgrade every copy of `blk` at node `n` (L1s + BC/PC).
+  // Marks node history with `reason` when invalidating.
+  void flush_block_at_node(NodeId n, Addr blk, bool invalidate,
+                           MissClass reason);
+  // L1 install with victim writeback handling.
+  void l1_install(const MemAccess& a, Addr blk, L1State st);
+  // BC install with victim eviction (writeback + hint + L1 inclusion).
+  void bc_install(NodeId n, Addr blk, NodeState st, Cycle t);
+  // MigRep/monitoring bookkeeping at home; invokes the home policy.
+  void count_page_miss(Addr page, PageInfo& pi, NodeId requester,
+                       bool is_write, Cycle now);
+  // Flush all blocks of `page` cached at node `n`; dirty data goes home
+  // asynchronously. Returns the number of (node-level) blocks flushed.
+  unsigned flush_page_at_node(NodeId n, Addr page, MissClass reason);
+  // Record a node-level remote miss.
+  void record_remote_miss(NodeId n, MissClass c) {
+    stats_->node[n].remote_misses.record(c);
+  }
+
+  // Map an unmapped page at a node (soft fault + first-touch binding).
+  Cycle map_page(const MemAccess& a, PageInfo& pi, Addr page, Cycle t);
+
+  SystemConfig cfg_;
+  Stats* stats_;
+  PageTable pt_;
+  Directory dir_;
+  Network net_;
+  std::vector<std::unique_ptr<L1Cache>> l1_;       // per CPU
+  std::vector<std::unique_ptr<BlockCache>> bc_;    // per node
+  std::vector<std::unique_ptr<PageCache>> pc_;     // per node
+  std::vector<Resource> bus_;                      // per node
+  std::vector<Resource> device_;                   // per node
+  std::vector<NodeHistory> history_;               // per node
+  std::vector<CounterCache> counter_cache_;        // per home node
+
+  std::unique_ptr<HomePolicy> home_policy_;
+  std::unique_ptr<CachePolicy> cache_policy_;
+
+  Cycle parallel_begin_at_ = 0;
+};
+
+}  // namespace dsm

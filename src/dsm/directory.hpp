@@ -1,0 +1,62 @@
+// Home-node directory: full bit-vector over nodes, three stable states.
+//
+// The directory is global truth for node-level coherence:
+//   kUncached  — no node caches the block; memory at home is current.
+//   kShared    — one or more nodes hold clean copies (bit vector).
+//   kExclusive — exactly one node may hold the block M/E/O; its copy is
+//                (potentially) the only valid one cluster-wide.
+//
+// Because the timing model processes each transaction atomically (see
+// sim/memory_if.hpp) there are no transient states: every lookup sees a
+// stable entry, and the "pending" behaviour of a real directory shows up
+// as occupancy on the home device resource instead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+enum class DirState : std::uint8_t { kUncached = 0, kShared, kExclusive };
+
+const char* to_string(DirState s);
+
+struct DirEntry {
+  DirState state = DirState::kUncached;
+  NodeId owner = kNoNode;       // valid iff state == kExclusive
+  std::uint32_t sharers = 0;    // bit per node, valid iff state == kShared
+
+  bool is_sharer(NodeId n) const { return (sharers >> n) & 1u; }
+  void add_sharer(NodeId n) { sharers |= (1u << n); }
+  void remove_sharer(NodeId n) { sharers &= ~(1u << n); }
+  std::uint32_t sharer_count() const { return __builtin_popcount(sharers); }
+};
+
+class Directory {
+ public:
+  DirEntry& entry(Addr blk) { return entries_[blk]; }
+
+  const DirEntry* find(Addr blk) const {
+    auto it = entries_.find(blk);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  // Drop the entry (page migration moves directory state to the new
+  // home after flushing everything; the fresh home starts kUncached).
+  void erase(Addr blk) { entries_.erase(blk); }
+
+  std::size_t size() const { return entries_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [blk, e] : entries_) fn(blk, e);
+  }
+
+ private:
+  std::unordered_map<Addr, DirEntry> entries_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+#include "dsm/page_cache.hpp"
+
+#include <algorithm>
+
+namespace dsm {
+
+PageCache::Frame* PageCache::find(Addr page) {
+  auto it = frames_.find(page);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+const PageCache::Frame* PageCache::find(Addr page) const {
+  auto it = frames_.find(page);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+void PageCache::touch(Addr page) {
+  Frame* f = find(page);
+  if (f) f->lru = ++lru_clock_;
+}
+
+PageCache::Frame& PageCache::allocate(Addr page) {
+  DSM_ASSERT(find(page) == nullptr, "frame already allocated");
+  DSM_ASSERT(has_free_frame(), "allocate() without a free frame");
+  Frame& f = frames_[page];
+  f.lru = ++lru_clock_;
+  return f;
+}
+
+Addr PageCache::pick_victim() const {
+  DSM_ASSERT(!frames_.empty(), "pick_victim on empty page cache");
+  const Frame* best = nullptr;
+  Addr best_page = 0;
+  for (const auto& [page, f] : frames_) {
+    if (!best || f.lru < best->lru ||
+        (f.lru == best->lru && page < best_page)) {
+      best = &f;
+      best_page = page;
+    }
+  }
+  return best_page;
+}
+
+void PageCache::release(Addr page) {
+  auto it = frames_.find(page);
+  DSM_ASSERT(it != frames_.end(), "release of absent frame");
+  frames_.erase(it);
+}
+
+}  // namespace dsm

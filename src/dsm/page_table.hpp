@@ -1,0 +1,98 @@
+// Global page bookkeeping: home assignment (first-touch), per-node
+// mapping modes (CC-NUMA / S-COMA / read-only replica), page-operation
+// pending windows, and the per-page per-node counters used by the
+// MigRep and R-NUMA policies.
+//
+// A single PageTable instance is global truth for the cluster; all
+// protocol engines consult it. It stores *simulator* state — consulting
+// it costs nothing; the timed cost of page-table/TLB activity is charged
+// explicitly by the cluster system (soft traps, shootdowns).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+inline constexpr std::uint32_t kMaxNodes = 16;
+
+enum class PageMode : std::uint8_t {
+  kUnmapped = 0,  // no mapping at this node; next access soft-faults
+  kCcNuma,        // mapped for block-grain remote caching (or local)
+  kScoma,         // mapped to a local S-COMA page-cache frame
+  kReplica,       // mapped to a local read-only replica
+};
+
+const char* to_string(PageMode m);
+
+struct PageInfo {
+  NodeId home = kNoNode;          // bound by first touch in parallel phase
+  bool replicated = false;        // read-only replicas exist
+  std::uint32_t replica_mask = 0; // nodes holding replicas (excludes home)
+  Cycle op_pending_until = 0;     // global page op (mig/rep/collapse) window
+
+  std::array<PageMode, kMaxNodes> mode{};  // all kUnmapped initially
+
+  // --- MigRep home-side monitoring -------------------------------------
+  std::array<std::uint32_t, kMaxNodes> read_miss_ctr{};
+  std::array<std::uint32_t, kMaxNodes> write_miss_ctr{};
+
+  // --- R-NUMA requester-side monitoring --------------------------------
+  std::array<std::uint32_t, kMaxNodes> refetch_ctr{};
+
+  // Total remote misses ever counted for this page (drives the
+  // R-NUMA+MigRep integration delay).
+  std::uint64_t lifetime_misses = 0;
+  // Misses counted since the last periodic counter reset. The paper's
+  // "reset interval of 32000 misses" is applied per page: when this
+  // reaches the interval, the page's MigRep counters are cleared.
+  std::uint64_t counted_since_reset = 0;
+
+  std::uint32_t miss_ctr(NodeId n) const {
+    return read_miss_ctr[n] + write_miss_ctr[n];
+  }
+  void reset_migrep_counters() {
+    read_miss_ctr.fill(0);
+    write_miss_ctr.fill(0);
+  }
+};
+
+class PageTable {
+ public:
+  explicit PageTable(std::uint32_t nodes) : nodes_(nodes) {
+    DSM_ASSERT(nodes_ <= kMaxNodes);
+  }
+
+  PageInfo& info(Addr page) { return pages_[page]; }
+  const PageInfo* find(Addr page) const {
+    auto it = pages_.find(page);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
+  bool is_bound(Addr page) const {
+    const PageInfo* pi = find(page);
+    return pi && pi->home != kNoNode;
+  }
+
+  std::uint32_t nodes() const { return nodes_; }
+
+  // Iterate over all pages (counter resets, invariant checks, teardown).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [page, pi] : pages_) fn(page, pi);
+  }
+
+  std::size_t size() const { return pages_.size(); }
+
+ private:
+  std::uint32_t nodes_;
+  std::unordered_map<Addr, PageInfo> pages_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,76 @@
+#include "harness/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "protocols/system_factory.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+RunResult run_one(const RunSpec& spec) {
+  RunResult result;
+  result.spec = spec;
+  result.stats = Stats(spec.system.nodes);
+
+  auto system = make_system(spec.system, &result.stats);
+  Engine engine(spec.system, system.get(), &result.stats);
+
+  SharedSpace space;
+  auto workload = make_workload(spec.workload, spec.scale);
+  const std::uint32_t nthreads = spec.system.total_cpus();
+  workload->setup(engine, space, nthreads);
+
+  std::vector<WorkerCtx> ctxs(nthreads);
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    ctxs[t].cpu = &engine.cpu(t);
+    ctxs[t].tid = t;
+    ctxs[t].nthreads = nthreads;
+    ctxs[t].rng.reseed(spec.system.seed + t);
+    engine.spawn(t, workload->body(ctxs[t]));
+  }
+
+  system->parallel_begin(0);
+  engine.run();
+  system->parallel_end(engine.finish_time());
+
+  if (spec.verify) workload->verify();
+
+  result.cycles = engine.finish_time();
+  result.stats.execution_cycles = result.cycles;
+  result.stats.total_cycles = result.cycles;
+  return result;
+}
+
+std::vector<RunResult> run_matrix(const std::vector<RunSpec>& specs,
+                                  unsigned max_parallel) {
+  if (max_parallel == 0)
+    max_parallel = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<RunResult> results(specs.size());
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      unsigned(std::min<std::size_t>(max_parallel, specs.size()));
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        results[i] = run_one(specs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+RunSpec paper_spec(SystemKind kind, const std::string& app, Scale scale) {
+  RunSpec spec;
+  spec.system = SystemConfig::base(kind);
+  spec.workload = app;
+  spec.scale = scale;
+  return spec;
+}
+
+}  // namespace dsm

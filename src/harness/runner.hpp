@@ -1,0 +1,53 @@
+// Experiment harness: builds a system + engine + workload, runs the
+// simulation, and extracts the metrics the paper reports.
+//
+// run_one() executes a single (system, workload) pair deterministically.
+// run_matrix() runs a whole experiment grid in parallel across host
+// threads — each run owns an isolated simulator, so runs are
+// embarrassingly parallel and individually deterministic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "workloads/catalog.hpp"
+
+namespace dsm {
+
+struct RunSpec {
+  SystemConfig system{};
+  std::string workload;
+  Scale scale = Scale::kDefault;
+  bool verify = true;
+};
+
+struct RunResult {
+  RunSpec spec;
+  Stats stats{0};
+  Cycle cycles = 0;  // simulated execution time
+
+  double normalized_to(const RunResult& baseline) const {
+    return baseline.cycles == 0 ? 0.0
+                                : double(cycles) / double(baseline.cycles);
+  }
+};
+
+// Run a single experiment. Deterministic for a given spec.
+RunResult run_one(const RunSpec& spec);
+
+// Run many experiments concurrently (one host thread per run, capped at
+// `max_parallel`; 0 = hardware concurrency).
+std::vector<RunResult> run_matrix(const std::vector<RunSpec>& specs,
+                                  unsigned max_parallel = 0);
+
+// Convenience: the paper's base configuration for `kind` running `app`.
+RunSpec paper_spec(SystemKind kind, const std::string& app,
+                   Scale scale = Scale::kDefault);
+
+}  // namespace dsm

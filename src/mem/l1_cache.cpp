@@ -1,0 +1,76 @@
+#include "mem/l1_cache.hpp"
+
+#include <bit>
+
+namespace dsm {
+
+const char* to_string(L1State s) {
+  switch (s) {
+    case L1State::kI: return "I";
+    case L1State::kS: return "S";
+    case L1State::kE: return "E";
+    case L1State::kO: return "O";
+    case L1State::kM: return "M";
+  }
+  return "?";
+}
+
+L1Cache::L1Cache(std::uint64_t bytes) {
+  DSM_ASSERT(bytes >= kBlockBytes && (bytes % kBlockBytes) == 0);
+  n_sets_ = std::uint32_t(bytes / kBlockBytes);
+  DSM_ASSERT(std::has_single_bit(n_sets_), "L1 set count must be a power of 2");
+  lines_.resize(n_sets_);
+}
+
+L1Cache::Line* L1Cache::probe(Addr blk) {
+  Line& ln = lines_[set_of(blk)];
+  return (ln.state != L1State::kI && ln.blk == blk) ? &ln : nullptr;
+}
+
+const L1Cache::Line* L1Cache::probe(Addr blk) const {
+  const Line& ln = lines_[set_of(blk)];
+  return (ln.state != L1State::kI && ln.blk == blk) ? &ln : nullptr;
+}
+
+L1Cache::Victim L1Cache::install(Addr blk, L1State state) {
+  DSM_DEBUG_ASSERT(state != L1State::kI);
+  Line& ln = lines_[set_of(blk)];
+  Victim v;
+  if (ln.state != L1State::kI && ln.blk != blk) {
+    v.valid = true;
+    v.blk = ln.blk;
+    v.state = ln.state;
+    next_miss_class_[ln.blk] = MissClass::kCapacity;
+  }
+  ln.blk = blk;
+  ln.state = state;
+  return v;
+}
+
+void L1Cache::invalidate(Addr blk, MissClass reason) {
+  Line* ln = probe(blk);
+  if (!ln) return;
+  ln->state = L1State::kI;
+  next_miss_class_[blk] = reason;
+}
+
+void L1Cache::downgrade_to_shared(Addr blk) {
+  Line* ln = probe(blk);
+  if (!ln) return;
+  ln->state = L1State::kS;
+}
+
+void L1Cache::set_state(Addr blk, L1State s) {
+  Line* ln = probe(blk);
+  DSM_ASSERT(ln != nullptr, "set_state on absent block");
+  ln->state = s;
+}
+
+MissClass L1Cache::classify_miss(Addr blk) {
+  auto [it, inserted] =
+      next_miss_class_.try_emplace(blk, MissClass::kCapacity);
+  if (inserted) return MissClass::kCold;
+  return it->second;
+}
+
+}  // namespace dsm

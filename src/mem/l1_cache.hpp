@@ -1,0 +1,95 @@
+// Processor data cache: direct-mapped, write-back, write-allocate,
+// MOESI states, with per-block miss-class history for the paper's
+// cold / coherence / capacity-conflict breakdown.
+//
+// The cache stores no data — workloads compute on host memory — only
+// tags and coherence state. Addresses are block-aligned globally; the
+// tag is the full block number, so aliasing is impossible by
+// construction and the set index is blk % n_sets.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+enum class L1State : std::uint8_t { kI = 0, kS, kE, kO, kM };
+
+const char* to_string(L1State s);
+
+inline bool l1_valid(L1State s) { return s != L1State::kI; }
+inline bool l1_dirty(L1State s) {
+  return s == L1State::kM || s == L1State::kO;
+}
+inline bool l1_writable(L1State s) {
+  return s == L1State::kM || s == L1State::kE;
+}
+
+class L1Cache {
+ public:
+  struct Line {
+    Addr blk = kNoBlock;
+    L1State state = L1State::kI;
+  };
+  struct Victim {
+    bool valid = false;
+    Addr blk = 0;
+    L1State state = L1State::kI;
+  };
+
+  static constexpr Addr kNoBlock = ~Addr(0);
+
+  explicit L1Cache(std::uint64_t bytes);
+
+  // Tag probe: returns the resident line if it holds `blk`, else nullptr.
+  Line* probe(Addr blk);
+  const Line* probe(Addr blk) const;
+
+  // Install `blk` in `state`, returning the replaced victim (if any).
+  // The victim's miss history is marked capacity/conflict.
+  Victim install(Addr blk, L1State state);
+
+  // Coherence/inclusion actions from the bus/devices. `reason` records
+  // how the block was lost for the next miss's classification
+  // (coherence invalidation vs. inclusion-driven replacement).
+  void invalidate(Addr blk, MissClass reason = MissClass::kCoherence);
+  void downgrade_to_shared(Addr blk);    // M/E/O -> S; ownership moves to
+                                         // the node-level container
+  void set_state(Addr blk, L1State s);
+
+  // Classify (and consume) the miss reason for `blk`: kCold on first
+  // touch, else whatever the block's last departure recorded.
+  MissClass classify_miss(Addr blk);
+
+  std::uint32_t n_sets() const { return n_sets_; }
+  const Line& line_at(std::uint32_t set) const { return lines_[set]; }
+
+  // Enumerate valid resident blocks of a given page (page flushes).
+  template <typename Fn>
+  void for_each_line_of_page(Addr page, Fn&& fn) {
+    // Blocks of one page map to kBlocksPerPage consecutive sets.
+    const Addr first_blk = page << (kPageBits - kBlockBits);
+    for (unsigned i = 0; i < kBlocksPerPage; ++i) {
+      const Addr blk = first_blk + i;
+      Line& ln = lines_[set_of(blk)];
+      if (ln.state != L1State::kI && ln.blk == blk) fn(ln);
+    }
+  }
+
+ private:
+  std::uint32_t set_of(Addr blk) const {
+    return std::uint32_t(blk & (n_sets_ - 1));
+  }
+
+  std::uint32_t n_sets_;
+  std::vector<Line> lines_;
+  // Block -> classification of its *next* miss. Absent = never seen.
+  std::unordered_map<Addr, MissClass> next_miss_class_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,56 @@
+// Busy-until resource reservation.
+//
+// Shared hardware (bus, network interfaces, protocol FSMs, page-op
+// engines) is modeled as a FIFO-arbitrated resource: a transaction that
+// needs the resource at time t actually starts at max(t, busy_until) and
+// holds it for its occupancy. This yields queueing delay under load and
+// zero delay when unloaded, which is exactly the contract the paper's
+// Table 3 latencies assume ("model contention at the memory bus / NIs
+// accurately, constant wire latency").
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+class Resource {
+ public:
+  // Reserve the resource for `occupancy` cycles no earlier than
+  // `earliest`; returns the actual start time.
+  Cycle reserve(Cycle earliest, Cycle occupancy) {
+    const Cycle start = std::max(earliest, busy_until_);
+    busy_until_ = start + occupancy;
+    total_busy_ += occupancy;
+    reservations_++;
+    return start;
+  }
+
+  // Occupy without delaying the caller past `at` (used for off-critical-
+  // path traffic such as writebacks: it consumes bandwidth seen by later
+  // transactions but does not extend the current one).
+  void occupy(Cycle at, Cycle occupancy) {
+    const Cycle start = std::max(at, busy_until_);
+    busy_until_ = start + occupancy;
+    total_busy_ += occupancy;
+    reservations_++;
+  }
+
+  Cycle busy_until() const { return busy_until_; }
+  Cycle total_busy() const { return total_busy_; }
+  std::uint64_t reservations() const { return reservations_; }
+
+  void reset() {
+    busy_until_ = 0;
+    total_busy_ = 0;
+    reservations_ = 0;
+  }
+
+ private:
+  Cycle busy_until_ = 0;
+  Cycle total_busy_ = 0;
+  std::uint64_t reservations_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,69 @@
+// Cluster interconnect: constant-latency point-to-point network with
+// contention modeled at the network interfaces, per the paper's
+// methodology ("a point-to-point network with a constant latency of 80
+// cycles but model contention at the network interfaces accurately").
+//
+// Each node has a send NI and a receive NI, each a FIFO resource with a
+// per-message occupancy. A message from A to B at time t:
+//   depart = reserve(send NI of A, t, ni_send)
+//   arrive = reserve(recv NI of B, depart + ni_send + net_latency, ni_recv)
+//            + ni_recv
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/resource.hpp"
+
+namespace dsm {
+
+class Network {
+ public:
+  Network(std::uint32_t nodes, const TimingConfig& t)
+      : timing_(&t), send_(nodes), recv_(nodes) {}
+
+  // Deliver one protocol message; returns the time the payload is
+  // available at the destination device.
+  Cycle transfer(NodeId from, NodeId to, Cycle ready) {
+    messages_++;
+    const Cycle depart =
+        send_[from].reserve(ready, timing_->ni_send) + timing_->ni_send;
+    const Cycle at_dest = depart + timing_->net_latency;
+    const Cycle done =
+        recv_[to].reserve(at_dest, timing_->ni_recv) + timing_->ni_recv;
+    return done;
+  }
+
+  // Bandwidth consumed by off-critical-path traffic (writebacks,
+  // replacement hints): occupies the NIs but the caller does not wait.
+  void transfer_async(NodeId from, NodeId to, Cycle ready) {
+    messages_++;
+    send_[from].occupy(ready, timing_->ni_send);
+    recv_[to].occupy(ready + timing_->ni_send + timing_->net_latency,
+                     timing_->ni_recv);
+  }
+
+  // Bulk transfer of `blocks` cache blocks (page copies). Occupies the
+  // NIs proportionally; returns completion time at the destination.
+  Cycle transfer_bulk(NodeId from, NodeId to, Cycle ready, unsigned blocks) {
+    messages_++;
+    const Cycle occ = timing_->ni_send * std::max(1u, blocks / 4);
+    const Cycle depart = send_[from].reserve(ready, occ) + occ;
+    const Cycle at_dest = depart + timing_->net_latency;
+    const Cycle rocc = timing_->ni_recv * std::max(1u, blocks / 4);
+    return recv_[to].reserve(at_dest, rocc) + rocc;
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  const Resource& send_ni(NodeId n) const { return send_[n]; }
+  const Resource& recv_ni(NodeId n) const { return recv_[n]; }
+
+ private:
+  const TimingConfig* timing_;
+  std::vector<Resource> send_;
+  std::vector<Resource> recv_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,40 @@
+// CC-NUMA+MigRep page migration/replication policy (Section 3.1).
+//
+// The home directory keeps per-page per-node read/write miss counters
+// (PageInfo). On each counted miss this policy applies the paper's two
+// rules:
+//   replication — all write counters are zero AND the requester's read
+//                 counter exceeds the threshold AND the requester holds
+//                 no replica yet;
+//   migration   — the requester's total counter exceeds the home's by at
+//                 least the threshold.
+// Counters reset every `migrep_reset_interval` counted misses at the
+// home (handled by DsmSystem::count_page_miss).
+//
+// The mechanisms (gather/flush/copy, poison bits, lazy shootdown) and
+// their Table-3 costs live in DsmSystem; this class only decides.
+#pragma once
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+class MigRepPolicy final : public HomePolicy {
+ public:
+  MigRepPolicy(DsmSystem& sys, bool enable_migration, bool enable_replication)
+      : sys_(&sys),
+        migration_(enable_migration),
+        replication_(enable_replication) {}
+
+  void on_page_miss(Addr page, PageInfo& pi, NodeId requester, bool is_write,
+                    Cycle now) override;
+
+ private:
+  bool all_write_counters_zero(const PageInfo& pi) const;
+
+  DsmSystem* sys_;
+  bool migration_;
+  bool replication_;
+};
+
+}  // namespace dsm

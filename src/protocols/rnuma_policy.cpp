@@ -1,0 +1,18 @@
+#include "protocols/rnuma_policy.hpp"
+
+namespace dsm {
+
+Cycle RNumaPolicy::on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
+                                   MissClass miss_class, Cycle now) {
+  if (miss_class != MissClass::kCapacity) return now;
+  pi.refetch_ctr[n]++;
+  if (pi.refetch_ctr[n] <= sys_->timing().rnuma_threshold) return now;
+  if (pi.lifetime_misses < sys_->timing().rnuma_relocation_delay_misses)
+    return now;
+
+  // Relocation interrupt: remap the page into the local page cache.
+  pi.refetch_ctr[n] = 0;
+  return sys_->relocate_to_scoma(n, page, now);
+}
+
+}  // namespace dsm

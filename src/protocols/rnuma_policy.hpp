@@ -1,0 +1,30 @@
+// R-NUMA reactive relocation policy (Section 3.2).
+//
+// Each node keeps a per-page refetch counter: the number of remote
+// fetches to blocks the node cached before and lost to replacement
+// (capacity/conflict). When the counter exceeds the switching threshold
+// the page is relocated from CC-NUMA to a local S-COMA page-cache frame
+// (DsmSystem::relocate_to_scoma carries the Table-3 charges, including
+// frame eviction under memory pressure).
+//
+// For the R-NUMA+MigRep integration (Section 6.4) relocation is delayed
+// until the page has seen `rnuma_relocation_delay_misses` lifetime
+// misses, giving the MigRep counters an undisturbed initial interval.
+#pragma once
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+class RNumaPolicy final : public CachePolicy {
+ public:
+  explicit RNumaPolicy(DsmSystem& sys) : sys_(&sys) {}
+
+  Cycle on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
+                        MissClass miss_class, Cycle now) override;
+
+ private:
+  DsmSystem* sys_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,39 @@
+#include "protocols/system_factory.hpp"
+
+#include "protocols/migrep_policy.hpp"
+#include "protocols/rnuma_policy.hpp"
+
+namespace dsm {
+
+std::unique_ptr<DsmSystem> make_system(const SystemConfig& cfg, Stats* stats) {
+  auto sys = std::make_unique<DsmSystem>(cfg, stats);
+  switch (cfg.kind) {
+    case SystemKind::kCcNuma:
+    case SystemKind::kPerfectCcNuma:
+      break;
+    case SystemKind::kCcNumaRep:
+      sys->set_home_policy(std::make_unique<MigRepPolicy>(
+          *sys, /*enable_migration=*/false, /*enable_replication=*/true));
+      break;
+    case SystemKind::kCcNumaMig:
+      sys->set_home_policy(std::make_unique<MigRepPolicy>(
+          *sys, /*enable_migration=*/true, /*enable_replication=*/false));
+      break;
+    case SystemKind::kCcNumaMigRep:
+      sys->set_home_policy(std::make_unique<MigRepPolicy>(
+          *sys, /*enable_migration=*/true, /*enable_replication=*/true));
+      break;
+    case SystemKind::kRNuma:
+    case SystemKind::kRNumaInf:
+      sys->set_cache_policy(std::make_unique<RNumaPolicy>(*sys));
+      break;
+    case SystemKind::kRNumaMigRep:
+      sys->set_home_policy(std::make_unique<MigRepPolicy>(
+          *sys, /*enable_migration=*/true, /*enable_replication=*/true));
+      sys->set_cache_policy(std::make_unique<RNumaPolicy>(*sys));
+      break;
+  }
+  return sys;
+}
+
+}  // namespace dsm

@@ -1,0 +1,21 @@
+// Construction of the paper's systems: wires the DsmSystem substrate
+// with the policy engines selected by SystemKind.
+//
+//   CC-NUMA            substrate only, finite block cache
+//   perfect CC-NUMA    infinite block cache
+//   CC-NUMA+Rep/Mig/MigRep   + MigRepPolicy (one or both rules)
+//   R-NUMA / R-NUMA-Inf      + RNumaPolicy (finite / infinite page cache)
+//   R-NUMA+MigRep            + both policies, delayed relocation
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+std::unique_ptr<DsmSystem> make_system(const SystemConfig& cfg, Stats* stats);
+
+}  // namespace dsm

@@ -1,0 +1,120 @@
+// Quantum-based conservative scheduler for simulated CPUs.
+//
+// Each simulated CPU runs a workload thread body (a SimCall coroutine).
+// CPUs free-run inside a scheduling window of `quantum` cycles; memory
+// and compute awaitables only suspend when the CPU's local clock crosses
+// the window end, so L1 hits cost a function call, not a context switch.
+// Synchronization objects (sim/sync.hpp) block CPUs and wake them with
+// explicit release timestamps.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/memory_if.hpp"
+#include "sim/task.hpp"
+
+namespace dsm {
+
+class Engine;
+
+// One simulated processor context.
+class Cpu {
+ public:
+  enum class State : std::uint8_t { kReady, kBlocked, kDone };
+
+  CpuId id = 0;
+  NodeId node = 0;
+  Cycle clock = 0;
+  Cycle run_until = 0;                       // current window end
+  State state = State::kDone;                // until a body is spawned
+  std::coroutine_handle<> current = nullptr; // innermost suspended coroutine
+  Engine* engine = nullptr;
+
+  // ---- awaitables --------------------------------------------------------
+  struct ComputeAwait {
+    Cpu* cpu;
+    bool await_ready() const noexcept { return cpu->clock < cpu->run_until; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      cpu->current = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct MemAwait {
+    Cpu* cpu;
+    bool await_ready() const noexcept { return cpu->clock < cpu->run_until; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      cpu->current = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Advance local time by `cycles` of computation.
+  ComputeAwait compute(Cycle cycles) noexcept {
+    clock += cycles;
+    return ComputeAwait{this};
+  }
+  // Dual-issue convenience: charge ceil(n/2) cycles for n instructions.
+  ComputeAwait compute_instr(std::uint64_t n) noexcept {
+    return compute((n + 1) / 2);
+  }
+
+  // Timed shared-memory reference. The access is processed synchronously
+  // (see sim/memory_if.hpp); the awaitable only decides whether to yield.
+  MemAwait read(Addr a) noexcept { return mem_op(a, /*write=*/false); }
+  MemAwait write(Addr a) noexcept { return mem_op(a, /*write=*/true); }
+
+ private:
+  MemAwait mem_op(Addr a, bool write) noexcept;
+};
+
+class Engine {
+ public:
+  Engine(const SystemConfig& cfg, MemorySystem* mem, Stats* stats);
+
+  // Attach the thread body for `cpu`. Must be called before run().
+  void spawn(CpuId cpu, SimCall<> body);
+
+  // Run until every spawned body completes. Asserts on deadlock.
+  void run();
+
+  Cpu& cpu(CpuId id) { return cpus_[id]; }
+  const SystemConfig& config() const { return cfg_; }
+  MemorySystem* memory() { return mem_; }
+  Stats* stats() { return stats_; }
+
+  // Wake a blocked CPU at absolute time `at` (used by sync objects).
+  void wake(CpuId id, Cycle at);
+
+  // Completion time of the whole run (max CPU clock seen).
+  Cycle finish_time() const { return finish_time_; }
+
+  std::uint32_t total_cpus() const { return std::uint32_t(cpus_.size()); }
+
+ private:
+  SystemConfig cfg_;
+  MemorySystem* mem_;
+  Stats* stats_;
+  std::vector<Cpu> cpus_;
+  std::vector<SimCall<>> roots_;
+  Cycle finish_time_ = 0;
+};
+
+inline Cpu::MemAwait Cpu::mem_op(Addr a, bool write) noexcept {
+  MemAccess acc{id, node, a, write, clock};
+  clock = engine->memory()->access(acc);
+  Stats* st = engine->stats();
+  if (write)
+    st->shared_writes++;
+  else
+    st->shared_reads++;
+  return MemAwait{this};
+}
+
+}  // namespace dsm

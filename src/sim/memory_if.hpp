@@ -1,0 +1,39 @@
+// Interface between the execution engine and the memory-system model.
+//
+// The timing model is "atomic transaction with resource reservation":
+// each access is processed to completion at issue time — all coherence
+// state (L1s, block/page caches, directory, counters) is updated
+// synchronously — and the returned completion time folds in queueing
+// delay at shared resources (bus, NIs, directory, page-op engine) via
+// busy-until reservations. Processor interleaving is bounded by the
+// Engine's scheduling quantum (<= the network latency), the same skew
+// guarantee the Wisconsin Wind Tunnel's quantum gives.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+struct MemAccess {
+  CpuId cpu = 0;
+  NodeId node = 0;
+  Addr addr = 0;
+  bool write = false;
+  Cycle start = 0;  // CPU-local issue time
+};
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  // Process the access and return its absolute completion time
+  // (>= a.start). Must be deterministic given the access sequence.
+  virtual Cycle access(const MemAccess& a) = 0;
+
+  // Called once when the parallel phase begins (first-touch binding
+  // starts here) and once when it ends.
+  virtual void parallel_begin(Cycle now) = 0;
+  virtual void parallel_end(Cycle now) = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,154 @@
+// Coroutine task type for simulated-thread bodies.
+//
+// SimCall<T> is an eagerly-suspending ("cold") coroutine task with
+// symmetric transfer. Workload thread bodies and their helper routines
+// are all SimCall coroutines; awaiting a SimCall runs the callee inline
+// on the simulated CPU, and any memory-system await inside the callee
+// suspends the whole logical thread back to the Engine scheduler.
+//
+// Roots (thread bodies spawned on a Cpu) have no continuation; their
+// final_suspend parks on a noop coroutine so Engine can poll done().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace dsm {
+
+template <typename T>
+class SimCall;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] SimCall {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    SimCall get_return_object() {
+      return SimCall(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  SimCall() = default;
+  explicit SimCall(std::coroutine_handle<promise_type> h) : h_(h) {}
+  SimCall(SimCall&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  SimCall& operator=(SimCall&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  SimCall(const SimCall&) = delete;
+  SimCall& operator=(const SimCall&) = delete;
+  ~SimCall() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return !h_ || h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+  // Awaiting runs the callee via symmetric transfer.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() {
+    rethrow_if_failed();
+    return std::move(h_.promise().value);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] SimCall<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    SimCall get_return_object() {
+      return SimCall(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  SimCall() = default;
+  explicit SimCall(std::coroutine_handle<promise_type> h) : h_(h) {}
+  SimCall(SimCall&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  SimCall& operator=(SimCall&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  SimCall(const SimCall&) = delete;
+  SimCall& operator=(const SimCall&) = delete;
+  ~SimCall() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return !h_ || h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() { rethrow_if_failed(); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace dsm

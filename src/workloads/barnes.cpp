@@ -1,0 +1,289 @@
+#include "workloads/barnes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsm {
+
+namespace {
+// 30-bit Morton code from coordinates normalized to [0,1).
+std::uint32_t morton3(double x, double y, double z) {
+  auto expand = [](std::uint32_t v) {
+    v &= 0x3ff;
+    v = (v | (v << 16)) & 0x030000ff;
+    v = (v | (v << 8)) & 0x0300f00f;
+    v = (v | (v << 4)) & 0x030c30c3;
+    v = (v | (v << 2)) & 0x09249249;
+    return v;
+  };
+  auto q = [](double c) {
+    const double n = std::clamp((c + 1.2) / 2.4, 0.0, 0.999999);
+    return std::uint32_t(n * 1024.0);
+  };
+  return (expand(q(x)) << 2) | (expand(q(y)) << 1) | expand(q(z));
+}
+}  // namespace
+
+void BarnesWorkload::setup(Engine& engine, SharedSpace& space,
+                           std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  const std::uint32_t n = p_.particles;
+  node_cap_ = 4 * n + 64;
+  body_ = space.alloc<double>(std::size_t(n) * 8);
+  cell_ = space.alloc<double>(std::size_t(node_cap_) * 8);
+  child_ = space.alloc<std::int32_t>(std::size_t(node_cap_) * 8);
+  nused_ = space.alloc<std::int32_t>(16);
+
+  // Clustered initial distribution on a thick spherical shell.
+  Rng rng(0xba12e5);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double r = 0.1 + 0.9 * rng.next_double();
+    const double phi = 2 * 3.14159265358979 * rng.next_double();
+    const double cz = 2 * rng.next_double() - 1;
+    const double sz = std::sqrt(std::max(0.0, 1 - cz * cz));
+    body_.host(bix(i, kPx)) = r * sz * std::cos(phi);
+    body_.host(bix(i, kPy)) = r * sz * std::sin(phi);
+    body_.host(bix(i, kPz)) = r * cz;
+    body_.host(bix(i, kVx)) = 0.05 * (rng.next_double() - 0.5);
+    body_.host(bix(i, kVy)) = 0.05 * (rng.next_double() - 0.5);
+    body_.host(bix(i, kVz)) = 0.05 * (rng.next_double() - 0.5);
+    body_.host(bix(i, kMass)) = 1.0 / n;
+  }
+  order_ = space.alloc<std::uint32_t>(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_.host(i) = i;
+  std::sort(&order_.host(0), &order_.host(0) + n,
+            [&](std::uint32_t a, std::uint32_t b) {
+              return morton3(body_.host(bix(a, kPx)), body_.host(bix(a, kPy)),
+                             body_.host(bix(a, kPz))) <
+                     morton3(body_.host(bix(b, kPx)), body_.host(bix(b, kPy)),
+                             body_.host(bix(b, kPz)));
+            });
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+// Sequential (thread-0) octree build; writes tree pages.
+SimCall<> BarnesWorkload::build_tree(Cpu& cpu) {
+  // Determine the bounding cube (one block read per body record).
+  double half = 1.0;
+  for (std::uint32_t i = 0; i < p_.particles; ++i) {
+    const double x = co_await body_.rd(cpu, bix(i, kPx));
+    const double y = co_await body_.rd(cpu, bix(i, kPy));
+    const double z = co_await body_.rd(cpu, bix(i, kPz));
+    half = std::max(
+        half, std::max(std::abs(x), std::max(std::abs(y), std::abs(z))));
+    co_await cpu.compute(3);
+  }
+  root_half_ = half * 1.01;
+
+  // Root = cell 0, centered at origin.
+  co_await nused_.wr(cpu, 0, 1);
+  co_await cell_.wr(cpu, cix(0, kCx), 0.0);
+  co_await cell_.wr(cpu, cix(0, kCy), 0.0);
+  co_await cell_.wr(cpu, cix(0, kCz), 0.0);
+  co_await cell_.wr(cpu, cix(0, kCsize), root_half_);
+  for (int c = 0; c < 8; ++c) co_await child_.wr(cpu, c, kEmpty);
+
+  for (std::uint32_t i = 0; i < p_.particles; ++i) {
+    const double x = co_await body_.rd(cpu, bix(i, kPx));
+    const double y = co_await body_.rd(cpu, bix(i, kPy));
+    const double z = co_await body_.rd(cpu, bix(i, kPz));
+    std::int32_t node = 0;
+    double cx = 0, cy = 0, cz = 0, h = root_half_;
+    for (;;) {
+      const int oct = (x > cx ? 1 : 0) | (y > cy ? 2 : 0) | (z > cz ? 4 : 0);
+      const std::size_t slot = std::size_t(node) * 8 + oct;
+      const std::int32_t ch = co_await child_.rd(cpu, slot);
+      co_await cpu.compute(6);
+      if (ch == kEmpty) {
+        co_await child_.wr(cpu, slot, -2 - std::int32_t(i));  // leaf
+        break;
+      }
+      h *= 0.5;
+      cx += (oct & 1) ? h : -h;
+      cy += (oct & 2) ? h : -h;
+      cz += (oct & 4) ? h : -h;
+      if (ch <= -2) {
+        // Split: the slot held particle j; push it one level down.
+        const std::int32_t j = -2 - ch;
+        const std::int32_t nn = co_await nused_.rd(cpu, 0);
+        DSM_ASSERT(std::uint32_t(nn) < node_cap_, "tree pool exhausted");
+        co_await nused_.wr(cpu, 0, nn + 1);
+        co_await cell_.wr(cpu, cix(nn, kCx), cx);
+        co_await cell_.wr(cpu, cix(nn, kCy), cy);
+        co_await cell_.wr(cpu, cix(nn, kCz), cz);
+        co_await cell_.wr(cpu, cix(nn, kCsize), h);
+        for (int c = 0; c < 8; ++c)
+          co_await child_.wr(cpu, std::size_t(nn) * 8 + c, kEmpty);
+        const double jx = co_await body_.rd(cpu, bix(std::uint32_t(j), kPx));
+        const double jy = co_await body_.rd(cpu, bix(std::uint32_t(j), kPy));
+        const double jz = co_await body_.rd(cpu, bix(std::uint32_t(j), kPz));
+        const int joct =
+            (jx > cx ? 1 : 0) | (jy > cy ? 2 : 0) | (jz > cz ? 4 : 0);
+        co_await child_.wr(cpu, std::size_t(nn) * 8 + joct, ch);
+        co_await child_.wr(cpu, slot, nn);
+        node = nn;
+        co_await cpu.compute(10);
+        continue;
+      }
+      node = ch;
+    }
+  }
+  co_await compute_mass(cpu, 0);
+}
+
+SimCall<> BarnesWorkload::compute_mass(Cpu& cpu, std::int32_t node) {
+  double m = 0, cx = 0, cy = 0, cz = 0;
+  for (int c = 0; c < 8; ++c) {
+    const std::int32_t ch = co_await child_.rd(cpu, std::size_t(node) * 8 + c);
+    if (ch == kEmpty) continue;
+    double cm, x, y, z;
+    if (ch <= -2) {
+      const std::uint32_t j = std::uint32_t(-2 - ch);
+      cm = co_await body_.rd(cpu, bix(j, kMass));
+      x = co_await body_.rd(cpu, bix(j, kPx));
+      y = co_await body_.rd(cpu, bix(j, kPy));
+      z = co_await body_.rd(cpu, bix(j, kPz));
+    } else {
+      co_await compute_mass(cpu, ch);
+      cm = co_await cell_.rd(cpu, cix(ch, kCm));
+      x = co_await cell_.rd(cpu, cix(ch, kCx));
+      y = co_await cell_.rd(cpu, cix(ch, kCy));
+      z = co_await cell_.rd(cpu, cix(ch, kCz));
+    }
+    m += cm;
+    cx += cm * x;
+    cy += cm * y;
+    cz += cm * z;
+    co_await cpu.compute(8);
+  }
+  if (m > 0) {
+    cx /= m;
+    cy /= m;
+    cz /= m;
+  }
+  co_await cell_.wr(cpu, cix(node, kCm), m);
+  co_await cell_.wr(cpu, cix(node, kCx), cx);
+  co_await cell_.wr(cpu, cix(node, kCy), cy);
+  co_await cell_.wr(cpu, cix(node, kCz), cz);
+}
+
+SimCall<> BarnesWorkload::force_on_particle(Cpu& cpu, std::uint32_t i,
+                                            double* ax, double* ay,
+                                            double* az) {
+  const double xi = co_await body_.rd(cpu, bix(i, kPx));
+  const double yi = co_await body_.rd(cpu, bix(i, kPy));
+  const double zi = co_await body_.rd(cpu, bix(i, kPz));
+  *ax = *ay = *az = 0;
+
+  // Iterative traversal with an explicit (private) stack.
+  std::int32_t stack[128];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const std::int32_t node = stack[--sp];
+    // One cell record = one cache block.
+    const double m = co_await cell_.rd(cpu, cix(node, kCm));
+    if (m <= 0) continue;
+    const double cx = co_await cell_.rd(cpu, cix(node, kCx));
+    const double cy = co_await cell_.rd(cpu, cix(node, kCy));
+    const double cz = co_await cell_.rd(cpu, cix(node, kCz));
+    const double sz = co_await cell_.rd(cpu, cix(node, kCsize));
+    const double dx = cx - xi, dy = cy - yi, dz = cz - zi;
+    const double d2 = dx * dx + dy * dy + dz * dz + 1e-6;
+    co_await cpu.compute(12);
+    if ((2 * sz) * (2 * sz) < p_.theta * p_.theta * d2) {
+      const double inv = 1.0 / std::sqrt(d2);
+      const double f = m * inv * inv * inv;
+      *ax += f * dx;
+      *ay += f * dy;
+      *az += f * dz;
+      co_await cpu.compute(34);  // sqrt + divide dominate on a dual-issue CPU
+      continue;
+    }
+    for (int c = 0; c < 8; ++c) {
+      const std::int32_t ch =
+          co_await child_.rd(cpu, std::size_t(node) * 8 + c);
+      if (ch == kEmpty) continue;
+      if (ch <= -2) {
+        const std::uint32_t j = std::uint32_t(-2 - ch);
+        if (j == i) continue;
+        const double mj = co_await body_.rd(cpu, bix(j, kMass));
+        const double jx = co_await body_.rd(cpu, bix(j, kPx));
+        const double jy = co_await body_.rd(cpu, bix(j, kPy));
+        const double jz = co_await body_.rd(cpu, bix(j, kPz));
+        const double ddx = jx - xi, ddy = jy - yi, ddz = jz - zi;
+        const double dd2 = ddx * ddx + ddy * ddy + ddz * ddz + 1e-6;
+        const double inv = 1.0 / std::sqrt(dd2);
+        const double f = mj * inv * inv * inv;
+        *ax += f * ddx;
+        *ay += f * ddy;
+        *az += f * ddz;
+        co_await cpu.compute(36);  // sqrt + divide per pair
+      } else {
+        DSM_ASSERT(sp < 127, "traversal stack overflow");
+        stack[sp++] = ch;
+      }
+    }
+  }
+}
+
+SimCall<> BarnesWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  const std::uint32_t n = p_.particles;
+  const std::uint32_t chunk = (n + nthreads_ - 1) / nthreads_;
+  const std::uint32_t lo = ctx.tid * chunk;
+  const std::uint32_t hi = std::min(n, lo + chunk);
+
+  // First touch of the particle partition (in spatial order).
+  for (std::uint32_t k = lo; k < hi; ++k) {
+    const std::uint32_t i = order_.host(k);
+    co_await body_.rd(cpu, bix(i, kPx));
+  }
+  co_await barrier_->arrive(cpu);
+
+  for (std::uint32_t step = 0; step < p_.steps; ++step) {
+    if (ctx.tid == 0) co_await build_tree(cpu);
+    co_await barrier_->arrive(cpu);
+
+    // Force phase: long read-shared traversals; spatially consecutive
+    // particles revisit nearly the same tree path.
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      const std::uint32_t i = co_await order_.rd(cpu, k);
+      double ax, ay, az;
+      co_await force_on_particle(cpu, i, &ax, &ay, &az);
+      const double vxn = co_await body_.rd(cpu, bix(i, kVx)) + p_.dt * ax;
+      const double vyn = co_await body_.rd(cpu, bix(i, kVy)) + p_.dt * ay;
+      const double vzn = co_await body_.rd(cpu, bix(i, kVz)) + p_.dt * az;
+      co_await body_.wr(cpu, bix(i, kVx), vxn);
+      co_await body_.wr(cpu, bix(i, kVy), vyn);
+      co_await body_.wr(cpu, bix(i, kVz), vzn);
+      co_await cpu.compute(12);
+    }
+    co_await barrier_->arrive(cpu);
+
+    // Integrate positions (local: a body record is one block).
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      const std::uint32_t i = co_await order_.rd(cpu, k);
+      for (int a = 0; a < 3; ++a) {
+        const auto pf = BodyField(kPx + a);
+        const auto vf = BodyField(kVx + a);
+        const double pv = co_await body_.rd(cpu, bix(i, pf));
+        const double vv = co_await body_.rd(cpu, bix(i, vf));
+        co_await body_.wr(cpu, bix(i, pf), pv + p_.dt * vv);
+      }
+      co_await cpu.compute(6);
+    }
+    co_await barrier_->arrive(cpu);
+  }
+}
+
+void BarnesWorkload::verify() {
+  for (std::uint32_t i = 0; i < p_.particles; ++i) {
+    DSM_ASSERT(std::isfinite(body_.host(bix(i, kPx))) &&
+                   std::isfinite(body_.host(bix(i, kPy))) &&
+                   std::isfinite(body_.host(bix(i, kPz))),
+               "barnes produced non-finite positions");
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,78 @@
+// Barnes-Hut N-body simulation (3-D octree, theta opening criterion).
+//
+// Per timestep: (1) thread 0 rebuilds the octree over the shared node
+// pool (writes to tree pages), (2) all threads compute forces on their
+// particle partition by traversing the tree (heavy read-sharing of tree
+// pages), (3) threads integrate their own particles (local).
+//
+// Storage is array-of-structs as in the original program: a body is one
+// 64-byte record (position, velocity, mass) and a tree cell is one
+// 64-byte record (center of mass, mass, size) plus its 8-child pointer
+// block, so one traversal step touches one or two cache blocks.
+// Particles are processed in Morton order (SPLASH-2 barnes gets the
+// same locality from its periodic body reordering).
+//
+// The alternation of a write phase (rebuild) and a long read-shared
+// phase (force) on the same pages is what makes barnes tricky for the
+// MigRep policy: pure migration bounces read-shared tree pages (the
+// paper shows Mig alone hurting barnes), while replication captures the
+// force phase but is repeatedly collapsed by the next rebuild.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct BarnesParams {
+  std::uint32_t particles = 4096;  // paper: 16K
+  std::uint32_t steps = 4;
+  double theta = 0.7;
+  double dt = 0.05;
+};
+
+class BarnesWorkload final : public Workload {
+ public:
+  explicit BarnesWorkload(BarnesParams p) : p_(p) {}
+
+  std::string name() const override { return "barnes"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  static constexpr std::int32_t kEmpty = -1;
+  // Body record fields (8 doubles = 64 bytes per body).
+  enum BodyField { kPx = 0, kPy, kPz, kVx, kVy, kVz, kMass };
+  // Cell record fields (8 doubles = 64 bytes per cell).
+  enum CellField { kCx = 0, kCy, kCz, kCm, kCsize };
+
+  std::size_t bix(std::uint32_t i, BodyField f) const {
+    return std::size_t(i) * 8 + f;
+  }
+  std::size_t cix(std::int32_t n, CellField f) const {
+    return std::size_t(n) * 8 + f;
+  }
+
+  SimCall<> build_tree(Cpu& cpu);
+  SimCall<> compute_mass(Cpu& cpu, std::int32_t node);
+  SimCall<> force_on_particle(Cpu& cpu, std::uint32_t i, double* ax,
+                              double* ay, double* az);
+
+  BarnesParams p_;
+  std::uint32_t nthreads_ = 1;
+  std::uint32_t node_cap_ = 0;
+  SharedArray<double> body_;          // particles * 8 doubles
+  SharedArray<double> cell_;          // node_cap * 8 doubles
+  SharedArray<std::int32_t> child_;   // node_cap * 8 child slots
+  SharedArray<std::int32_t> nused_;   // [0] = number of allocated cells
+  SharedArray<std::uint32_t> order_;  // Morton-sorted particle ids
+  std::unique_ptr<Barrier> barrier_;
+  double root_half_ = 1.0;
+};
+
+}  // namespace dsm

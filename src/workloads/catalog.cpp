@@ -1,0 +1,108 @@
+#include "workloads/catalog.hpp"
+
+#include "common/log.hpp"
+#include "workloads/barnes.hpp"
+#include "workloads/cholesky.hpp"
+#include "workloads/fmm.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/ocean.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/radix.hpp"
+#include "workloads/raytrace.hpp"
+
+namespace dsm {
+
+const std::vector<std::string>& paper_apps() {
+  static const std::vector<std::string> apps = {
+      "barnes", "cholesky", "fmm", "lu", "ocean", "radix", "raytrace"};
+  return apps;
+}
+
+const std::vector<std::string>& all_workloads() {
+  static const std::vector<std::string> all = {
+      "barnes",   "cholesky", "fmm",
+      "lu",       "ocean",    "radix",
+      "raytrace", "read_shared", "migratory",
+      "producer_consumer"};
+  return all;
+}
+
+std::string workload_input_description(const std::string& name, Scale scale) {
+  const bool paper = scale == Scale::kPaper;
+  if (name == "barnes")
+    return paper ? "16K particles" : "4K particles (reduced)";
+  if (name == "cholesky")
+    return paper ? "synthetic tk16.O-like, 128 panels"
+                 : "synthetic tk16.O-like, 96 panels (reduced)";
+  if (name == "fmm") return paper ? "16K particles" : "8K particles (reduced)";
+  if (name == "lu")
+    return paper ? "512x512 matrix, 16x16 blocks"
+                 : "256x256 matrix, 16x16 blocks (reduced)";
+  if (name == "ocean") return paper ? "130x130 ocean" : "130x130 ocean";
+  if (name == "radix")
+    return paper ? "1M integers, radix 1024"
+                 : "256K integers, radix 1024 (reduced)";
+  if (name == "raytrace")
+    return paper ? "procedural car-scale scene, 256x256 image"
+                 : "procedural scene, 128x128 image (reduced)";
+  return "synthetic sharing pattern";
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        Scale scale) {
+  const bool paper = scale == Scale::kPaper;
+  const bool tiny = scale == Scale::kTiny;
+  if (name == "lu") {
+    LuParams p;
+    p.n = tiny ? 64 : (paper ? 512 : 384);
+    return std::make_unique<LuWorkload>(p);
+  }
+  if (name == "radix") {
+    RadixParams p;
+    p.keys = tiny ? 16 * 1024 : (paper ? 1024 * 1024 : 256 * 1024);
+    return std::make_unique<RadixWorkload>(p);
+  }
+  if (name == "ocean") {
+    OceanParams p;
+    p.n = tiny ? 34 : 130;
+    p.sweeps = tiny ? 4 : (paper ? 48 : 24);
+    return std::make_unique<OceanWorkload>(p);
+  }
+  if (name == "barnes") {
+    BarnesParams p;
+    p.particles = tiny ? 512 : (paper ? 16384 : 4096);
+    p.steps = tiny ? 2 : 4;
+    return std::make_unique<BarnesWorkload>(p);
+  }
+  if (name == "fmm") {
+    FmmParams p;
+    p.particles = tiny ? 1024 : (paper ? 16384 : 8192);
+    p.grid = tiny ? 8 : 16;
+    p.steps = 2;
+    return std::make_unique<FmmWorkload>(p);
+  }
+  if (name == "cholesky") {
+    CholeskyParams p;
+    p.panels = tiny ? 24 : (paper ? 128 : 96);
+    p.panel_rows = tiny ? 32 : (paper ? 128 : 96);
+    p.panel_cols = tiny ? 8 : (paper ? 16 : 12);
+    return std::make_unique<CholeskyWorkload>(p);
+  }
+  if (name == "raytrace") {
+    RaytraceParams p;
+    p.image = tiny ? 32 : (paper ? 256 : 128);
+    p.spheres = tiny ? 48 : (paper ? 8192 : 4096);
+    return std::make_unique<RaytraceWorkload>(p);
+  }
+  PatternParams p;
+  p.elems = tiny ? 8 * 1024 : 64 * 1024;
+  p.rounds = tiny ? 2 : 16;
+  if (name == "read_shared") return std::make_unique<ReadSharedWorkload>(p);
+  if (name == "migratory") return std::make_unique<MigratoryWorkload>(p);
+  if (name == "producer_consumer")
+    return std::make_unique<ProducerConsumerWorkload>(p);
+  DSM_ASSERT(false, "unknown workload: " + name);
+  return nullptr;
+}
+
+}  // namespace dsm

@@ -1,0 +1,122 @@
+#include "workloads/cholesky.hpp"
+
+#include <cmath>
+
+namespace dsm {
+
+void CholeskyWorkload::setup(Engine& engine, SharedSpace& space,
+                             std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  // Hierarchical fill pattern: panel k feeds k+1, k+2, k+4, k+8, ...
+  // (banded near-diagonal coupling plus long-range fill-in, the shape a
+  // nested-dissection-ordered grid factor produces).
+  deps_.assign(p_.panels, {});
+  for (std::uint32_t k = 0; k < p_.panels; ++k)
+    for (std::uint32_t d = 1; k + d < p_.panels; d *= 2)
+      deps_[k].push_back(k + d);
+
+  panels_ = space.alloc<double>(panel_base(p_.panels));
+  ready_ = space.alloc<std::int32_t>(p_.panels * 16);
+  next_panel_ = space.alloc<std::int32_t>(16);
+
+  Rng rng(0xc401e5);
+  for (std::size_t i = 0; i < panel_base(p_.panels); ++i)
+    panels_.host(i) = 0.25 * (rng.next_double() - 0.5);
+  // Make panel diagonals dominant (stands in for SPD-ness at panel level).
+  for (std::uint32_t k = 0; k < p_.panels; ++k)
+    for (std::uint32_t c = 0; c < p_.panel_cols; ++c)
+      panels_.host(panel_base(k) + std::size_t(c) * p_.panel_rows + c) +=
+          8.0 + p_.panel_cols;
+
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+  queue_lock_ = std::make_unique<Lock>(engine);
+}
+
+SimCall<> CholeskyWorkload::factor_panel(Cpu& cpu, std::uint32_t k) {
+  // Dense left-looking factorization of the panel's leading square,
+  // then scaling of the sub-diagonal rows (a supernodal "cdiv").
+  const std::size_t base = panel_base(k);
+  const std::uint32_t rows = p_.panel_rows;
+  for (std::uint32_t c = 0; c < p_.panel_cols; ++c) {
+    const std::size_t col = base + std::size_t(c) * rows;
+    double diag = co_await panels_.rd(cpu, col + c);
+    for (std::uint32_t cc = 0; cc < c; ++cc) {
+      const double v =
+          co_await panels_.rd(cpu, base + std::size_t(cc) * rows + c);
+      diag -= v * v;
+      co_await cpu.compute(3);
+    }
+    DSM_ASSERT(diag > 0, "cholesky: lost positive-definiteness");
+    const double root = std::sqrt(diag);
+    co_await panels_.wr(cpu, col + c, root);
+    for (std::uint32_t r = c + 1; r < rows; ++r) {
+      double v = co_await panels_.rd(cpu, col + r);
+      for (std::uint32_t cc = 0; cc < c; ++cc) {
+        const double a =
+            co_await panels_.rd(cpu, base + std::size_t(cc) * rows + r);
+        const double b =
+            co_await panels_.rd(cpu, base + std::size_t(cc) * rows + c);
+        v -= a * b;
+        co_await cpu.compute(2);
+      }
+      co_await panels_.wr(cpu, col + r, v / root);
+      co_await cpu.compute(4);
+    }
+  }
+}
+
+SimCall<> CholeskyWorkload::update_panel(Cpu& cpu, std::uint32_t k,
+                                         std::uint32_t j) {
+  // Panel j -= f(panel k): a supernodal "cmod" — reads the source panel,
+  // read-modify-writes the destination.
+  const std::size_t src = panel_base(k);
+  const std::size_t dst = panel_base(j);
+  const std::uint32_t rows = p_.panel_rows;
+  for (std::uint32_t c = 0; c < p_.panel_cols; ++c) {
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const double a = co_await panels_.rd(cpu, src + std::size_t(c) * rows + r);
+      const double b =
+          co_await panels_.rd(cpu, src + std::size_t(c) * rows + (r % p_.panel_cols));
+      const std::size_t di = dst + std::size_t(c) * rows + r;
+      const double old = co_await panels_.rd(cpu, di);
+      co_await panels_.wr(cpu, di, old - 0.001 * a * b);
+      co_await cpu.compute(4);
+    }
+  }
+}
+
+SimCall<> CholeskyWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  if (ctx.tid == 0) co_await next_panel_.wr(cpu, 0, 0);
+  co_await barrier_->arrive(cpu);
+
+  // Panels are factored in order; updates to dependents are done by the
+  // claiming thread (right-looking). The claim order is dynamic.
+  for (;;) {
+    co_await queue_lock_->acquire(cpu);
+    const std::int32_t k = co_await next_panel_.rd(cpu, 0);
+    if (std::uint32_t(k) >= p_.panels) {
+      queue_lock_->release(cpu);
+      break;
+    }
+    co_await next_panel_.wr(cpu, 0, k + 1);
+    queue_lock_->release(cpu);
+
+    co_await factor_panel(cpu, std::uint32_t(k));
+    for (std::uint32_t j : deps_[std::uint32_t(k)])
+      co_await update_panel(cpu, std::uint32_t(k), j);
+  }
+  co_await barrier_->arrive(cpu);
+}
+
+void CholeskyWorkload::verify() {
+  // Diagonals of factored panels must be positive and finite.
+  for (std::uint32_t k = 0; k < p_.panels; ++k)
+    for (std::uint32_t c = 0; c < p_.panel_cols; ++c) {
+      const double d =
+          panels_.host(panel_base(k) + std::size_t(c) * p_.panel_rows + c);
+      DSM_ASSERT(std::isfinite(d) && d > 0, "cholesky: bad factor diagonal");
+    }
+}
+
+}  // namespace dsm

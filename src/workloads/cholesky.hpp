@@ -1,0 +1,57 @@
+// Blocked sparse Cholesky factorization with a dynamic task queue.
+//
+// The paper uses the tk16.O input; we substitute a procedurally
+// generated block-sparse SPD matrix whose fill pattern (banded plus
+// hierarchical "fill-in" couplings) mimics a supernodal factor
+// (DESIGN.md §2). The factorization is right-looking over supernodal
+// panels: once panel k is factored, every dependent panel j receives an
+// update reading panel k and read-modify-writing panel j. Panels are
+// claimed from a lock-protected work pointer, so the mapping of panels
+// to processors is dynamic — the migratory, low-reuse page behaviour
+// that makes cholesky the paper's worst case for R-NUMA relocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct CholeskyParams {
+  std::uint32_t panels = 96;      // number of supernodal panels
+  std::uint32_t panel_rows = 48;  // rows per panel
+  std::uint32_t panel_cols = 8;   // columns per panel
+};
+
+class CholeskyWorkload final : public Workload {
+ public:
+  explicit CholeskyWorkload(CholeskyParams p) : p_(p) {}
+
+  std::string name() const override { return "cholesky"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  std::size_t panel_base(std::uint32_t k) const {
+    return std::size_t(k) * p_.panel_rows * p_.panel_cols;
+  }
+  SimCall<> factor_panel(Cpu& cpu, std::uint32_t k);
+  SimCall<> update_panel(Cpu& cpu, std::uint32_t k, std::uint32_t j);
+
+  CholeskyParams p_;
+  std::uint32_t nthreads_ = 1;
+  // Sparse structure: deps_[k] = list of panels j > k that panel k updates.
+  std::vector<std::vector<std::uint32_t>> deps_;
+  SharedArray<double> panels_;       // panel-major storage
+  SharedArray<std::int32_t> ready_;  // per-panel remaining-update counts
+  std::unique_ptr<Barrier> barrier_;
+  std::unique_ptr<Lock> queue_lock_;
+  // Shared work pointer guarded by queue_lock_.
+  SharedArray<std::int32_t> next_panel_;
+};
+
+}  // namespace dsm

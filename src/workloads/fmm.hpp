@@ -1,0 +1,67 @@
+// Fast-multipole-style 2-D N-body solver on a uniform cell grid.
+//
+// Particles are binned into a G x G grid of cells, spatially partitioned
+// across threads. Per step:
+//   P2M  — each thread computes multipole moments of its own cells;
+//   M2L  — each cell accumulates local expansions from its interaction
+//          list (the 5x5 neighbourhood minus immediate neighbours),
+//          reading *other threads'* cell moments — static read sharing;
+//   P2P  — near-field pairwise forces with the 3x3 neighbourhood,
+//          reading boundary particles of adjacent threads;
+//   L2P  — local expansion evaluated at the thread's own particles.
+//
+// The partition is static, so homes are stable after first touch; the
+// paper correspondingly sees a little migration and almost no
+// replication for fmm.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct FmmParams {
+  std::uint32_t particles = 8192;  // paper: 16K
+  std::uint32_t grid = 16;         // G x G cells
+  std::uint32_t steps = 2;
+  std::uint32_t terms = 4;         // multipole terms per cell
+};
+
+class FmmWorkload final : public Workload {
+ public:
+  explicit FmmWorkload(FmmParams p) : p_(p) {}
+
+  std::string name() const override { return "fmm"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  std::uint32_t cell_of_host(double x, double y) const;
+  std::uint32_t cell_owner(std::uint32_t cell) const {
+    return cell * nthreads_ / (p_.grid * p_.grid);
+  }
+
+  // Particle record fields (8 doubles = one cache block per particle).
+  enum PField { kPx = 0, kPy, kQ, kFx, kFy };
+  std::size_t pix(std::uint32_t i, PField f) const {
+    return std::size_t(i) * 8 + f;
+  }
+
+  FmmParams p_;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<double> part_;
+  // Cell-major particle index: cells_[c] spans [cell_start_[c],
+  // cell_start_[c+1]) in part_ix_.
+  SharedArray<std::uint32_t> cell_start_;
+  SharedArray<std::uint32_t> part_ix_;
+  SharedArray<double> moments_;  // grid^2 x terms (multipole)
+  SharedArray<double> locals_;   // grid^2 x terms (local expansion)
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace dsm

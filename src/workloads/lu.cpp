@@ -1,0 +1,160 @@
+#include "workloads/lu.hpp"
+
+#include <cmath>
+
+namespace dsm {
+
+void LuWorkload::setup(Engine& engine, SharedSpace& space,
+                       std::uint32_t nthreads) {
+  DSM_ASSERT(p_.n % p_.block == 0, "matrix dim must be a block multiple");
+  nthreads_ = nthreads;
+  nblocks_ = p_.n / p_.block;
+  a_ = space.alloc<double>(std::size_t(p_.n) * p_.n);
+  Rng rng(0x10ull);
+  for (std::uint32_t r = 0; r < p_.n; ++r)
+    for (std::uint32_t c = 0; c < p_.n; ++c)
+      a_.host(idx(r, c)) = rng.next_double() - 0.5;
+  // Diagonal dominance keeps no-pivot LU stable.
+  for (std::uint32_t r = 0; r < p_.n; ++r) a_.host(idx(r, r)) += p_.n;
+  original_.assign(&a_.host(0), &a_.host(0) + std::size_t(p_.n) * p_.n);
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+std::uint32_t LuWorkload::owner(std::uint32_t bi, std::uint32_t bj) const {
+  // 2-D round-robin over a sqrt(P) x sqrt(P)-ish grid of threads.
+  std::uint32_t pr = 1;
+  while (pr * pr < nthreads_) pr++;
+  while (nthreads_ % pr != 0) pr--;
+  const std::uint32_t pc = nthreads_ / pr;
+  return (bi % pr) * pc + (bj % pc);
+}
+
+SimCall<> LuWorkload::factor_diag(Cpu& cpu, std::uint32_t k) {
+  const std::uint32_t base = k * p_.block;
+  for (std::uint32_t j = 0; j < p_.block; ++j) {
+    const double pivot = co_await a_.rd(cpu, idx(base + j, base + j));
+    for (std::uint32_t i = j + 1; i < p_.block; ++i) {
+      const double v = co_await a_.rd(cpu, idx(base + i, base + j));
+      co_await a_.wr(cpu, idx(base + i, base + j), v / pivot);
+      co_await cpu.compute(4);
+    }
+    for (std::uint32_t i = j + 1; i < p_.block; ++i) {
+      const double lij = co_await a_.rd(cpu, idx(base + i, base + j));
+      for (std::uint32_t c = j + 1; c < p_.block; ++c) {
+        const double ujc = co_await a_.rd(cpu, idx(base + j, base + c));
+        const double old = co_await a_.rd(cpu, idx(base + i, base + c));
+        co_await a_.wr(cpu, idx(base + i, base + c), old - lij * ujc);
+        co_await cpu.compute(2);
+      }
+    }
+  }
+}
+
+SimCall<> LuWorkload::update_row_block(Cpu& cpu, std::uint32_t k,
+                                       std::uint32_t bj) {
+  // A(k,bj) := L(k,k)^-1 * A(k,bj): forward substitution per column.
+  const std::uint32_t kr = k * p_.block;
+  const std::uint32_t jc = bj * p_.block;
+  for (std::uint32_t c = 0; c < p_.block; ++c) {
+    for (std::uint32_t i = 1; i < p_.block; ++i) {
+      double acc = co_await a_.rd(cpu, idx(kr + i, jc + c));
+      for (std::uint32_t j = 0; j < i; ++j) {
+        const double lij = co_await a_.rd(cpu, idx(kr + i, kr + j));
+        const double x = co_await a_.rd(cpu, idx(kr + j, jc + c));
+        acc -= lij * x;
+        co_await cpu.compute(2);
+      }
+      co_await a_.wr(cpu, idx(kr + i, jc + c), acc);
+    }
+  }
+}
+
+SimCall<> LuWorkload::update_col_block(Cpu& cpu, std::uint32_t k,
+                                       std::uint32_t bi) {
+  // A(bi,k) := A(bi,k) * U(k,k)^-1: back substitution per row.
+  const std::uint32_t ir = bi * p_.block;
+  const std::uint32_t kc = k * p_.block;
+  for (std::uint32_t r = 0; r < p_.block; ++r) {
+    for (std::uint32_t j = 0; j < p_.block; ++j) {
+      double acc = co_await a_.rd(cpu, idx(ir + r, kc + j));
+      for (std::uint32_t c = 0; c < j; ++c) {
+        const double lrc = co_await a_.rd(cpu, idx(ir + r, kc + c));
+        const double u = co_await a_.rd(cpu, idx(kc + c, kc + j));
+        acc -= lrc * u;
+        co_await cpu.compute(2);
+      }
+      const double ujj = co_await a_.rd(cpu, idx(kc + j, kc + j));
+      co_await a_.wr(cpu, idx(ir + r, kc + j), acc / ujj);
+      co_await cpu.compute(4);
+    }
+  }
+}
+
+SimCall<> LuWorkload::update_interior(Cpu& cpu, std::uint32_t k,
+                                      std::uint32_t bi, std::uint32_t bj) {
+  // A(bi,bj) -= A(bi,k) * A(k,bj)  (the daxpy-rich phase).
+  const std::uint32_t ir = bi * p_.block;
+  const std::uint32_t kr = k * p_.block;
+  const std::uint32_t jc = bj * p_.block;
+  for (std::uint32_t i = 0; i < p_.block; ++i) {
+    for (std::uint32_t kk = 0; kk < p_.block; ++kk) {
+      const double aik = co_await a_.rd(cpu, idx(ir + i, kr + kk));
+      for (std::uint32_t j = 0; j < p_.block; ++j) {
+        const double bkj = co_await a_.rd(cpu, idx(kr + kk, jc + j));
+        const double old = co_await a_.rd(cpu, idx(ir + i, jc + j));
+        co_await a_.wr(cpu, idx(ir + i, jc + j), old - aik * bkj);
+        co_await cpu.compute(2);
+      }
+    }
+  }
+}
+
+SimCall<> LuWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  // First-touch: every thread touches its own blocks before the work
+  // starts (the paper's "first-touch migration" directive).
+  for (std::uint32_t bi = 0; bi < nblocks_; ++bi)
+    for (std::uint32_t bj = 0; bj < nblocks_; ++bj) {
+      if (owner(bi, bj) != ctx.tid) continue;
+      for (std::uint32_t r = 0; r < p_.block; ++r)
+        for (std::uint32_t c = 0; c < p_.block; c += kBlockBytes / 8)
+          co_await a_.rd(cpu, idx(bi * p_.block + r, bj * p_.block + c));
+    }
+  co_await barrier_->arrive(cpu);
+
+  for (std::uint32_t k = 0; k < nblocks_; ++k) {
+    if (owner(k, k) == ctx.tid) co_await factor_diag(cpu, k);
+    co_await barrier_->arrive(cpu);
+    for (std::uint32_t bj = k + 1; bj < nblocks_; ++bj)
+      if (owner(k, bj) == ctx.tid) co_await update_row_block(cpu, k, bj);
+    for (std::uint32_t bi = k + 1; bi < nblocks_; ++bi)
+      if (owner(bi, k) == ctx.tid) co_await update_col_block(cpu, k, bi);
+    co_await barrier_->arrive(cpu);
+    for (std::uint32_t bi = k + 1; bi < nblocks_; ++bi)
+      for (std::uint32_t bj = k + 1; bj < nblocks_; ++bj)
+        if (owner(bi, bj) == ctx.tid)
+          co_await update_interior(cpu, k, bi, bj);
+    co_await barrier_->arrive(cpu);
+  }
+}
+
+void LuWorkload::verify() {
+  // Reconstruct sample entries: A[r][c] == sum_k L[r][k] * U[k][c].
+  Rng rng(0x77ull);
+  for (int s = 0; s < 64; ++s) {
+    const std::uint32_t r = std::uint32_t(rng.next_below(p_.n));
+    const std::uint32_t c = std::uint32_t(rng.next_below(p_.n));
+    double sum = 0;
+    const std::uint32_t kmax = std::min(r, c);
+    for (std::uint32_t k = 0; k <= kmax; ++k) {
+      const double l = (k == r) ? 1.0 : a_.host(idx(r, k));
+      const double u = a_.host(idx(k, c));
+      sum += l * u;
+    }
+    const double want = original_[idx(r, c)];
+    DSM_ASSERT(std::abs(sum - want) < 1e-6 * (1.0 + std::abs(want)),
+               "LU reconstruction mismatch");
+  }
+}
+
+}  // namespace dsm

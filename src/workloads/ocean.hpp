@@ -1,0 +1,55 @@
+// Ocean-current relaxation: red-black Gauss-Seidel over seven coupled
+// grids (stream function + previous step, vorticity + previous step,
+// two forcing grids, one work grid), partitioned into per-thread
+// *column slabs*. Because rows are contiguous in memory, a page holds
+// whole rows and every node's slab touches every page of every grid —
+// pages are actively shared by several nodes, so page
+// migration/replication finds few candidates (the paper's ocean
+// observation) while fine-grain caching of just the slab's blocks
+// removes the capacity misses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct OceanParams {
+  std::uint32_t n = 130;      // grid dimension incl. boundary (paper: 130)
+  std::uint32_t sweeps = 24;  // relaxation sweeps per grid pair
+};
+
+class OceanWorkload final : public Workload {
+ public:
+  explicit OceanWorkload(OceanParams p) : p_(p) {}
+
+  std::string name() const override { return "ocean"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  std::size_t idx(std::uint32_t r, std::uint32_t c) const {
+    return std::size_t(r) * p_.n + c;
+  }
+  SimCall<> relax(Cpu& cpu, SharedArray<double>& g, SharedArray<double>& rhs,
+                  std::uint32_t col_lo, std::uint32_t col_hi, int parity);
+
+  OceanParams p_;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<double> psi_;    // stream function
+  SharedArray<double> psim_;   // stream function, previous step
+  SharedArray<double> vort_;   // vorticity
+  SharedArray<double> vortm_;  // vorticity, previous step
+  SharedArray<double> ga_;     // forcing for psi
+  SharedArray<double> gb_;     // forcing for vorticity
+  SharedArray<double> work_;   // scratch/coupling grid
+  SharedArray<double> resid_;  // per-thread residual accumulator
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace dsm

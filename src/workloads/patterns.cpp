@@ -1,0 +1,125 @@
+#include "workloads/patterns.hpp"
+
+namespace dsm {
+
+// ---------------------------------------------------------------------------
+// read_shared
+// ---------------------------------------------------------------------------
+
+void ReadSharedWorkload::setup(Engine& engine, SharedSpace& space,
+                               std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  data_ = space.alloc<std::uint32_t>(p_.elems);
+  sums_ = space.alloc<std::uint64_t>(nthreads * 8);
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+SimCall<> ReadSharedWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  // Thread 0 produces once...
+  if (ctx.tid == 0) {
+    for (std::uint32_t i = 0; i < p_.elems; ++i)
+      co_await data_.wr(cpu, i, i * 2654435761u);
+  }
+  co_await barrier_->arrive(cpu);
+  // ...then everyone reads it repeatedly for a long time.
+  std::uint64_t sum = 0;
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    for (std::uint32_t i = 0; i < p_.elems; ++i) {
+      sum += co_await data_.rd(cpu, i);
+      co_await cpu.compute(2);
+    }
+  }
+  co_await sums_.wr(cpu, std::size_t(ctx.tid) * 8, sum);
+  co_await barrier_->arrive(cpu);
+}
+
+void ReadSharedWorkload::verify() {
+  const std::uint64_t want = sums_.host(0);
+  for (std::uint32_t t = 1; t < nthreads_; ++t)
+    DSM_ASSERT(sums_.host(std::size_t(t) * 8) == want,
+               "read_shared: readers disagree");
+}
+
+// ---------------------------------------------------------------------------
+// migratory
+// ---------------------------------------------------------------------------
+
+void MigratoryWorkload::setup(Engine& engine, SharedSpace& space,
+                              std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  data_ = space.alloc<std::uint32_t>(p_.elems);
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+SimCall<> MigratoryWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  // In phase r, only the CPUs of node (r mod nnodes) work on the region,
+  // and they work on it hard (read-modify-write sweeps).
+  const std::uint32_t cpus_per_node = cpu.engine->config().cpus_per_node;
+  const std::uint32_t nnodes = ctx.nthreads / cpus_per_node;
+  const std::uint32_t my_node = ctx.tid / cpus_per_node;
+  const std::uint32_t lane = ctx.tid % cpus_per_node;
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    if (round % nnodes == my_node) {
+      // Enough sweeps that one phase of exclusive use crosses the
+      // default MigRep threshold on every page of the region.
+      for (std::uint32_t rep = 0; rep < 10; ++rep) {
+        for (std::uint32_t i = lane; i < p_.elems; i += cpus_per_node) {
+          co_await data_.rmw(cpu, i, [](std::uint32_t v) { return v + 1; });
+          co_await cpu.compute(2);
+        }
+      }
+    }
+    co_await barrier_->arrive(cpu);
+  }
+}
+
+void MigratoryWorkload::verify() {
+  for (std::uint32_t i = 0; i < p_.elems; ++i)
+    DSM_ASSERT(data_.host(i) == 10 * p_.rounds,
+               "migratory: lost updates");
+}
+
+// ---------------------------------------------------------------------------
+// producer_consumer
+// ---------------------------------------------------------------------------
+
+void ProducerConsumerWorkload::setup(Engine& engine, SharedSpace& space,
+                                     std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  data_ = space.alloc<std::uint32_t>(p_.elems);
+  sums_ = space.alloc<std::uint64_t>(nthreads * 8);
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+SimCall<> ProducerConsumerWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  // Round-robin producer; everyone else consumes immediately after.
+  // Writes are frequent enough that no page ever looks read-only and no
+  // single node dominates the miss counters.
+  std::uint64_t sum = 0;
+  for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+    const std::uint32_t producer = round % ctx.nthreads;
+    if (ctx.tid == producer) {
+      for (std::uint32_t i = 0; i < p_.elems; ++i)
+        co_await data_.wr(cpu, i, round * 1000003u + i);
+    }
+    co_await barrier_->arrive(cpu);
+    for (std::uint32_t i = 0; i < p_.elems; ++i) {
+      sum += co_await data_.rd(cpu, i);
+      co_await cpu.compute(2);
+    }
+    co_await barrier_->arrive(cpu);
+  }
+  co_await sums_.wr(cpu, std::size_t(ctx.tid) * 8, sum);
+}
+
+void ProducerConsumerWorkload::verify() {
+  const std::uint64_t want = sums_.host(0);
+  for (std::uint32_t t = 1; t < nthreads_; ++t)
+    DSM_ASSERT(sums_.host(std::size_t(t) * 8) == want,
+               "producer_consumer: readers disagree");
+}
+
+}  // namespace dsm

@@ -1,0 +1,79 @@
+// Synthetic sharing-pattern micro-workloads.
+//
+// These isolate the three access patterns the paper's qualitative
+// analysis (Table 1) reasons about, and are used by tests, examples and
+// ablation benches to show each policy's best/worst case directly:
+//
+//   read_shared       — one producer writes a region once, everyone
+//                       reads it for a long time (replication's win);
+//   migratory         — a region is used intensely by one node at a
+//                       time, moving between nodes in phases
+//                       (migration's win);
+//   producer_consumer — high-degree read-write sharing with short
+//                       intervals between writers (only fine-grain
+//                       caching helps; mig/rep has no opportunity).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct PatternParams {
+  std::uint32_t elems = 64 * 1024;  // shared region size (uint32 elements)
+  std::uint32_t rounds = 8;         // phases/repetitions
+};
+
+class ReadSharedWorkload final : public Workload {
+ public:
+  explicit ReadSharedWorkload(PatternParams p) : p_(p) {}
+  std::string name() const override { return "read_shared"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  PatternParams p_;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<std::uint32_t> data_;
+  SharedArray<std::uint64_t> sums_;
+  std::unique_ptr<Barrier> barrier_;
+};
+
+class MigratoryWorkload final : public Workload {
+ public:
+  explicit MigratoryWorkload(PatternParams p) : p_(p) {}
+  std::string name() const override { return "migratory"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  PatternParams p_;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<std::uint32_t> data_;
+  std::unique_ptr<Barrier> barrier_;
+};
+
+class ProducerConsumerWorkload final : public Workload {
+ public:
+  explicit ProducerConsumerWorkload(PatternParams p) : p_(p) {}
+  std::string name() const override { return "producer_consumer"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  PatternParams p_;
+  std::uint32_t nthreads_ = 1;
+  SharedArray<std::uint32_t> data_;
+  SharedArray<std::uint64_t> sums_;
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace dsm

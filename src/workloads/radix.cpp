@@ -1,0 +1,99 @@
+#include "workloads/radix.hpp"
+
+#include <algorithm>
+
+namespace dsm {
+
+void RadixWorkload::setup(Engine& engine, SharedSpace& space,
+                          std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  digit_bits_ = 0;
+  while ((1u << digit_bits_) < p_.radix) digit_bits_++;
+  DSM_ASSERT((1u << digit_bits_) == p_.radix, "radix must be a power of 2");
+  passes_ = (p_.max_key_bits + digit_bits_ - 1) / digit_bits_;
+
+  keys_a_ = space.alloc<std::uint32_t>(p_.keys);
+  keys_b_ = space.alloc<std::uint32_t>(p_.keys);
+  histo_ = space.alloc<std::uint32_t>(std::size_t(nthreads) * p_.radix);
+  rank_ = space.alloc<std::uint32_t>(std::size_t(nthreads) * p_.radix);
+
+  Rng rng(0x4adull);
+  const std::uint32_t mask = (p_.max_key_bits >= 32)
+                                 ? ~0u
+                                 : ((1u << p_.max_key_bits) - 1);
+  for (std::uint32_t i = 0; i < p_.keys; ++i)
+    keys_a_.host(i) = std::uint32_t(rng.next_u64()) & mask;
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+}
+
+SimCall<> RadixWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  const std::uint32_t chunk = (p_.keys + nthreads_ - 1) / nthreads_;
+  const std::uint32_t lo = ctx.tid * chunk;
+  const std::uint32_t hi = std::min(p_.keys, lo + chunk);
+
+  // First-touch both key arrays' own partitions.
+  for (std::uint32_t i = lo; i < hi; i += kBlockBytes / 4) {
+    co_await keys_a_.rd(cpu, i);
+    co_await keys_b_.rd(cpu, i);
+  }
+  co_await barrier_->arrive(cpu);
+
+  SharedArray<std::uint32_t>* src = &keys_a_;
+  SharedArray<std::uint32_t>* dst = &keys_b_;
+
+  for (std::uint32_t pass = 0; pass < passes_; ++pass) {
+    const std::uint32_t shift = pass * digit_bits_;
+    const std::uint32_t dmask = p_.radix - 1;
+    const std::size_t hbase = std::size_t(ctx.tid) * p_.radix;
+
+    // 1. Local histogram.
+    for (std::uint32_t d = 0; d < p_.radix; ++d)
+      co_await histo_.wr(cpu, hbase + d, 0);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::uint32_t k = co_await src->rd(cpu, i);
+      const std::uint32_t d = (k >> shift) & dmask;
+      co_await histo_.rmw(cpu, hbase + d, [](std::uint32_t v) { return v + 1; });
+      co_await cpu.compute(3);
+    }
+    co_await barrier_->arrive(cpu);
+
+    // 2. Thread 0 computes global base ranks (reads every thread's
+    // histogram: the read-write shared phase).
+    if (ctx.tid == 0) {
+      std::uint32_t run = 0;
+      for (std::uint32_t d = 0; d < p_.radix; ++d) {
+        for (std::uint32_t t = 0; t < nthreads_; ++t) {
+          const std::uint32_t c =
+              co_await histo_.rd(cpu, std::size_t(t) * p_.radix + d);
+          co_await rank_.wr(cpu, std::size_t(t) * p_.radix + d, run);
+          run += c;
+          co_await cpu.compute(2);
+        }
+      }
+    }
+    co_await barrier_->arrive(cpu);
+
+    // 3. Permute into destination (scattered remote writes).
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::uint32_t k = co_await src->rd(cpu, i);
+      const std::uint32_t d = (k >> shift) & dmask;
+      const std::uint32_t pos = co_await rank_.rd(cpu, hbase + d);
+      co_await rank_.wr(cpu, hbase + d, pos + 1);
+      co_await dst->wr(cpu, pos, k);
+      co_await cpu.compute(4);
+    }
+    co_await barrier_->arrive(cpu);
+    std::swap(src, dst);
+  }
+}
+
+void RadixWorkload::verify() {
+  // After an even number of swaps the sorted data is in keys_a_.
+  const SharedArray<std::uint32_t>& out =
+      (passes_ % 2 == 0) ? keys_a_ : keys_b_;
+  for (std::uint32_t i = 1; i < p_.keys; ++i)
+    DSM_ASSERT(out.host(i - 1) <= out.host(i), "radix output not sorted");
+}
+
+}  // namespace dsm

@@ -1,0 +1,48 @@
+// Parallel radix sort of 32-bit integers (digit-histogram style).
+//
+// Each pass over one `radix`-sized digit: threads histogram their key
+// partition, cooperate on a prefix sum over the per-thread histograms
+// (read-write shared counter arrays), then permute keys into the
+// destination array. The permutation writes scatter across every node's
+// pages — the access pattern with a large primary working set and
+// little page reuse that makes radix the paper's page-cache-pressure
+// (and relocation-overhead) case.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct RadixParams {
+  std::uint32_t keys = 256 * 1024;  // paper: 1M
+  std::uint32_t radix = 1024;
+  std::uint32_t max_key_bits = 20;
+};
+
+class RadixWorkload final : public Workload {
+ public:
+  explicit RadixWorkload(RadixParams p) : p_(p) {}
+
+  std::string name() const override { return "radix"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  RadixParams p_;
+  std::uint32_t nthreads_ = 1;
+  std::uint32_t digit_bits_ = 10;
+  std::uint32_t passes_ = 2;
+  SharedArray<std::uint32_t> keys_a_;
+  SharedArray<std::uint32_t> keys_b_;
+  SharedArray<std::uint32_t> histo_;  // nthreads x radix
+  SharedArray<std::uint32_t> rank_;   // nthreads x radix: global base ranks
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,262 @@
+#include "workloads/raytrace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsm {
+
+void RaytraceWorkload::build_bvh(std::vector<std::uint32_t>& order,
+                                 std::uint32_t lo, std::uint32_t hi,
+                                 std::vector<BuildNode>& nodes) {
+  BuildNode node{};
+  for (int a = 0; a < 3; ++a) {
+    node.bb_min[a] = 1e30f;
+    node.bb_max[a] = -1e30f;
+  }
+  auto center = [&](std::uint32_t s, int axis) {
+    return axis == 0 ? sx_.host(s) : (axis == 1 ? sy_.host(s) : sz_.host(s));
+  };
+  for (std::uint32_t k = lo; k < hi; ++k) {
+    const std::uint32_t s = order[k];
+    for (int a = 0; a < 3; ++a) {
+      node.bb_min[a] =
+          std::min(node.bb_min[a], float(center(s, a) - sr_.host(s)));
+      node.bb_max[a] =
+          std::max(node.bb_max[a], float(center(s, a) + sr_.host(s)));
+    }
+  }
+  const std::uint32_t me = std::uint32_t(nodes.size());
+  nodes.push_back(node);
+  if (hi - lo <= 2) {
+    nodes[me].left = nodes[me].right = -1;
+    nodes[me].first = std::int32_t(lo);
+    nodes[me].count = std::int32_t(hi - lo);
+    return;
+  }
+  // Median split along the widest axis.
+  int axis = 0;
+  float width = 0;
+  for (int a = 0; a < 3; ++a) {
+    const float w = nodes[me].bb_max[a] - nodes[me].bb_min[a];
+    if (w > width) {
+      width = w;
+      axis = a;
+    }
+  }
+  const std::uint32_t mid = (lo + hi) / 2;
+  std::nth_element(order.begin() + lo, order.begin() + mid,
+                   order.begin() + hi,
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return center(a, axis) < center(b, axis);
+                   });
+  nodes[me].left = std::int32_t(nodes.size());
+  build_bvh(order, lo, mid, nodes);
+  nodes[me].right = std::int32_t(nodes.size());
+  build_bvh(order, mid, hi, nodes);
+  nodes[me].first = nodes[me].count = 0;
+}
+
+void RaytraceWorkload::setup(Engine& engine, SharedSpace& space,
+                             std::uint32_t nthreads) {
+  nthreads_ = nthreads;
+  const std::uint32_t n = p_.spheres;
+  sx_ = space.alloc<double>(n);
+  sy_ = space.alloc<double>(n);
+  sz_ = space.alloc<double>(n);
+  sr_ = space.alloc<double>(n);
+  salb_ = space.alloc<double>(n);
+
+  Rng rng(0x7ace);
+  const std::uint32_t side = std::uint32_t(std::ceil(std::sqrt(double(n))));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double gx = double(i % side) / side;
+    const double gz = double(i / side) / side;
+    sx_.host(i) = (gx - 0.5) * 20 + (rng.next_double() - 0.5);
+    sy_.host(i) = 0.4 + 1.2 * rng.next_double();
+    sz_.host(i) = 4 + gz * 20 + (rng.next_double() - 0.5);
+    sr_.host(i) = 0.25 + 0.35 * rng.next_double();
+    salb_.host(i) = 0.2 + 0.8 * rng.next_double();
+  }
+
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<BuildNode> nodes;
+  nodes.reserve(2 * n);
+  build_bvh(order, 0, n, nodes);
+  n_nodes_ = std::uint32_t(nodes.size());
+
+  // Flatten: remap leaf ranges through `order` into sphere ids stored in
+  // leaf-contiguous arrays (rebuild the sphere arrays in BVH order).
+  std::vector<double> tx(n), ty(n), tz(n), tr(n), ta(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    tx[k] = sx_.host(order[k]);
+    ty[k] = sy_.host(order[k]);
+    tz[k] = sz_.host(order[k]);
+    tr[k] = sr_.host(order[k]);
+    ta[k] = salb_.host(order[k]);
+  }
+  for (std::uint32_t k = 0; k < n; ++k) {
+    sx_.host(k) = tx[k];
+    sy_.host(k) = ty[k];
+    sz_.host(k) = tz[k];
+    sr_.host(k) = tr[k];
+    salb_.host(k) = ta[k];
+  }
+
+  bvh_ = space.alloc<double>(std::size_t(n_nodes_) * 8);
+  for (std::uint32_t i = 0; i < n_nodes_; ++i) {
+    const BuildNode& b = nodes[i];
+    for (int a = 0; a < 3; ++a) {
+      bvh_.host(std::size_t(i) * 8 + a) = b.bb_min[a];
+      bvh_.host(std::size_t(i) * 8 + 3 + a) = b.bb_max[a];
+    }
+    if (b.left < 0) {
+      bvh_.host(std::size_t(i) * 8 + 6) = -double(b.first) - 1;
+      bvh_.host(std::size_t(i) * 8 + 7) = double(b.count);
+    } else {
+      bvh_.host(std::size_t(i) * 8 + 6) = double(b.left);
+      bvh_.host(std::size_t(i) * 8 + 7) = double(b.right);
+    }
+  }
+
+  fb_ = space.alloc<double>(std::size_t(p_.image) * p_.image);
+  next_tile_ = space.alloc<std::int32_t>(16);
+  barrier_ = std::make_unique<Barrier>(engine, nthreads);
+  queue_lock_ = std::make_unique<Lock>(engine);
+}
+
+SimCall<int> RaytraceWorkload::trace(Cpu& cpu, const double o[3],
+                                     const double d[3], double* t_hit) {
+  double best = 1e30;
+  int best_s = -1;
+  std::int32_t stack[64];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const std::uint32_t node = std::uint32_t(stack[--sp]);
+    // Slab test against the node bounds (6 timed reads).
+    double t0 = 0, t1 = best;
+    bool miss = false;
+    for (int a = 0; a < 3 && !miss; ++a) {
+      const double mn = co_await bvh_.rd(cpu, std::size_t(node) * 8 + a);
+      const double mx = co_await bvh_.rd(cpu, std::size_t(node) * 8 + 3 + a);
+      const double inv = 1.0 / (d[a] == 0 ? 1e-12 : d[a]);
+      double ta = (mn - o[a]) * inv;
+      double tb = (mx - o[a]) * inv;
+      if (ta > tb) std::swap(ta, tb);
+      t0 = std::max(t0, ta);
+      t1 = std::min(t1, tb);
+      miss = t0 > t1;
+      co_await cpu.compute(12);  // slab test: divide + compares
+    }
+    if (miss) continue;
+    const double a6 = co_await bvh_.rd(cpu, std::size_t(node) * 8 + 6);
+    const double a7 = co_await bvh_.rd(cpu, std::size_t(node) * 8 + 7);
+    if (a6 >= 0) {
+      DSM_ASSERT(sp < 62, "BVH stack overflow");
+      stack[sp++] = std::int32_t(a6);
+      stack[sp++] = std::int32_t(a7);
+      continue;
+    }
+    const std::uint32_t first = std::uint32_t(-a6 - 1);
+    const std::uint32_t count = std::uint32_t(a7);
+    for (std::uint32_t k = first; k < first + count; ++k) {
+      const double cx = co_await sx_.rd(cpu, k);
+      const double cy = co_await sy_.rd(cpu, k);
+      const double cz = co_await sz_.rd(cpu, k);
+      const double r = co_await sr_.rd(cpu, k);
+      const double lx = o[0] - cx, ly = o[1] - cy, lz = o[2] - cz;
+      const double b = lx * d[0] + ly * d[1] + lz * d[2];
+      const double c = lx * lx + ly * ly + lz * lz - r * r;
+      const double disc = b * b - c;
+      co_await cpu.compute(32);  // dot products + sqrt on hit test
+      if (disc <= 0) continue;
+      const double t = -b - std::sqrt(disc);
+      if (t > 1e-4 && t < best) {
+        best = t;
+        best_s = int(k);
+      }
+    }
+  }
+  *t_hit = best;
+  co_return best_s;
+}
+
+SimCall<> RaytraceWorkload::body(WorkerCtx& ctx) {
+  Cpu& cpu = *ctx.cpu;
+  const std::uint32_t tiles_per_row = p_.image / p_.tile;
+  const std::uint32_t n_tiles = tiles_per_row * tiles_per_row;
+
+  if (ctx.tid == 0) co_await next_tile_.wr(cpu, 0, 0);
+  // First touch: stripe the framebuffer across threads.
+  const std::uint32_t fb_chunk =
+      (p_.image * p_.image + nthreads_ - 1) / nthreads_;
+  for (std::uint32_t i = ctx.tid * fb_chunk;
+       i < std::min(p_.image * p_.image, (ctx.tid + 1) * fb_chunk);
+       i += kBlockBytes / 8)
+    co_await fb_.rd(cpu, i);
+  co_await barrier_->arrive(cpu);
+
+  const double light[3] = {-8, 20, -4};
+  for (;;) {
+    co_await queue_lock_->acquire(cpu);
+    const std::int32_t tile = co_await next_tile_.rd(cpu, 0);
+    if (std::uint32_t(tile) >= n_tiles) {
+      queue_lock_->release(cpu);
+      break;
+    }
+    co_await next_tile_.wr(cpu, 0, tile + 1);
+    queue_lock_->release(cpu);
+
+    const std::uint32_t tx = std::uint32_t(tile) % tiles_per_row;
+    const std::uint32_t ty = std::uint32_t(tile) / tiles_per_row;
+    for (std::uint32_t py = ty * p_.tile; py < (ty + 1) * p_.tile; ++py) {
+      for (std::uint32_t px = tx * p_.tile; px < (tx + 1) * p_.tile; ++px) {
+        const double u = (double(px) / p_.image - 0.5) * 2;
+        const double v = (double(py) / p_.image - 0.5) * 2;
+        double o[3] = {0, 2, -6};
+        double dir[3] = {u, v * -1.0, 1.5};
+        const double len = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] +
+                                     dir[2] * dir[2]);
+        dir[0] /= len;
+        dir[1] /= len;
+        dir[2] /= len;
+        double t_hit;
+        const int s = co_await trace(cpu, o, dir, &t_hit);
+        double shade = 0.05;  // background
+        if (s >= 0) {
+          const double hx = o[0] + t_hit * dir[0];
+          const double hy = o[1] + t_hit * dir[1];
+          const double hz = o[2] + t_hit * dir[2];
+          double ld[3] = {light[0] - hx, light[1] - hy, light[2] - hz};
+          const double ll = std::sqrt(ld[0] * ld[0] + ld[1] * ld[1] +
+                                      ld[2] * ld[2]);
+          ld[0] /= ll;
+          ld[1] /= ll;
+          ld[2] /= ll;
+          double so[3] = {hx + 1e-3 * ld[0], hy + 1e-3 * ld[1],
+                          hz + 1e-3 * ld[2]};
+          double st;
+          const int blocker = co_await trace(cpu, so, ld, &st);
+          const double alb = co_await salb_.rd(cpu, std::uint32_t(s));
+          shade = (blocker >= 0 && st < ll) ? 0.1 * alb : alb;
+          co_await cpu.compute(30);
+        }
+        co_await fb_.wr(cpu, std::size_t(py) * p_.image + px, shade);
+      }
+    }
+  }
+  co_await barrier_->arrive(cpu);
+}
+
+void RaytraceWorkload::verify() {
+  double sum = 0;
+  for (std::size_t i = 0; i < std::size_t(p_.image) * p_.image; ++i) {
+    DSM_ASSERT(std::isfinite(fb_.host(i)) && fb_.host(i) >= 0,
+               "raytrace produced invalid pixels");
+    sum += fb_.host(i);
+  }
+  DSM_ASSERT(sum > 0, "raytrace image is empty");
+}
+
+}  // namespace dsm

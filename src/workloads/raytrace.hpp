@@ -1,0 +1,64 @@
+// Ray tracing of a procedural sphere scene through a BVH.
+//
+// The paper's `car` input is substituted with a procedurally generated
+// scene (a grid of spheres over a ground plane) traced with primary
+// rays plus one shadow ray per hit (DESIGN.md §2). Image tiles are
+// claimed from a lock-protected queue, so any processor may trace any
+// part of the image, and every ray traverses the *same* BVH/sphere
+// arrays — the long-lived read-shared data that makes raytrace the
+// paper's replication-heavy application. Framebuffer writes are
+// spread over tiles claimed dynamically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dsm {
+
+struct RaytraceParams {
+  std::uint32_t image = 128;     // image is image x image pixels
+  std::uint32_t tile = 16;       // tile edge
+  std::uint32_t spheres = 192;   // procedural scene size
+};
+
+class RaytraceWorkload final : public Workload {
+ public:
+  explicit RaytraceWorkload(RaytraceParams p) : p_(p) {}
+
+  std::string name() const override { return "raytrace"; }
+  void setup(Engine& engine, SharedSpace& space,
+             std::uint32_t nthreads) override;
+  SimCall<> body(WorkerCtx& ctx) override;
+  void verify() override;
+
+ private:
+  struct BuildNode {
+    float bb_min[3], bb_max[3];
+    std::int32_t left, right;      // children; -1 if leaf
+    std::int32_t first, count;     // sphere range if leaf
+  };
+  void build_bvh(std::vector<std::uint32_t>& order, std::uint32_t lo,
+                 std::uint32_t hi, std::vector<BuildNode>& nodes);
+
+  // Timed BVH traversal; returns the hit sphere id (or -1) and distance.
+  SimCall<int> trace(Cpu& cpu, const double o[3], const double d[3],
+                     double* t_hit);
+
+  RaytraceParams p_;
+  std::uint32_t nthreads_ = 1;
+  std::uint32_t n_nodes_ = 0;
+  // Scene: sphere centers/radii/albedo, flattened BVH (read-shared).
+  SharedArray<double> sx_, sy_, sz_, sr_, salb_;
+  SharedArray<double> bvh_;      // n_nodes * 8: min[3], max[3], a, b
+                                 // a >= 0: left child, b = right child
+                                 // a < 0: leaf, first = -a-1, count = b
+  SharedArray<double> fb_;       // framebuffer
+  SharedArray<std::int32_t> next_tile_;
+  std::unique_ptr<Barrier> barrier_;
+  std::unique_ptr<Lock> queue_lock_;
+};
+
+}  // namespace dsm

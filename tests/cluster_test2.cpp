@@ -1,0 +1,330 @@
+// Second wave of protocol tests: contention and queueing, page-op
+// stall windows and accounting, the finite counter cache of Section
+// 6.4, and SharedSpace layout guarantees.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "dsm/cluster.hpp"
+#include "protocols/system_factory.hpp"
+#include "workloads/workload.hpp"
+
+namespace dsm {
+namespace {
+
+class Cluster2Test : public ::testing::Test {
+ protected:
+  void build(SystemKind kind, std::uint32_t nodes = 4,
+             std::uint32_t cpus_per_node = 2) {
+    cfg_ = SystemConfig::base(kind);
+    cfg_.nodes = nodes;
+    cfg_.cpus_per_node = cpus_per_node;
+    rebuild();
+  }
+  void rebuild() {
+    stats_ = Stats(cfg_.nodes);
+    sys_ = make_system(cfg_, &stats_);
+  }
+  Cycle go(NodeId node, std::uint32_t lane, Addr addr, bool write,
+           Cycle start) {
+    const CpuId cpu = node * cfg_.cpus_per_node + lane;
+    return sys_->access({cpu, node, addr, write, start}) - start;
+  }
+  void bind(Addr addr, NodeId h, Cycle at = 0) { go(h, 0, addr, false, at); }
+
+  SystemConfig cfg_;
+  Stats stats_{0};
+  std::unique_ptr<DsmSystem> sys_;
+};
+
+// --------------------------------------------------------------------------
+// Contention / queueing
+// --------------------------------------------------------------------------
+
+TEST_F(Cluster2Test, BusContentionSerializesNodeMisses) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x10000, b = 0x20000;
+  bind(a, 0);
+  bind(b, 0, 5000);
+  // Two CPUs on node 0 miss simultaneously on different (mapped) pages:
+  // the second transaction queues behind the first on the node bus.
+  const Cycle lat1 = go(0, 0, a + kBlockBytes, false, 100000);
+  const Cycle lat2 = go(0, 1, b + kBlockBytes, false, 100000);
+  EXPECT_EQ(lat1, 104u);
+  EXPECT_GT(lat2, 104u);  // queued behind lat1's bus occupancy
+}
+
+TEST_F(Cluster2Test, HomeDeviceContentionSerializesRemoteRequests) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x10000;
+  bind(a, 0);
+  go(1, 0, a, false, 50000);   // map at node 1
+  go(2, 0, a, false, 50000);   // map at node 2
+  // Simultaneous clean fetches of two different blocks from two nodes:
+  // the home directory serializes them.
+  const Cycle l1 = go(1, 0, a + 2 * kBlockBytes, false, 300000);
+  const Cycle l2 = go(2, 0, a + 3 * kBlockBytes, false, 300000);
+  EXPECT_EQ(l1, 418u);
+  EXPECT_GT(l2, 418u);
+  EXPECT_LE(l2, 418u + 100u);  // only one directory occupancy behind
+}
+
+TEST_F(Cluster2Test, NetworkLatencyConfigRaisesRemoteMiss) {
+  build(SystemKind::kCcNuma);
+  cfg_.timing = TimingConfig::long_latency();
+  rebuild();
+  const Addr a = 0x10000;
+  bind(a, 0);
+  go(1, 0, a, false, 50000);
+  const Cycle lat = go(1, 0, a + 2 * kBlockBytes, false, 300000);
+  EXPECT_EQ(lat, cfg_.timing.remote_clean_miss_total());
+  EXPECT_NEAR(double(lat), 16.0 * cfg_.timing.local_miss_total(), 8.0);
+}
+
+// --------------------------------------------------------------------------
+// Page-op accounting
+// --------------------------------------------------------------------------
+
+TEST_F(Cluster2Test, MigrationAccountsFlushAndCopy) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x40000;
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  go(1, 0, a + kBlockBytes, true, 20000);
+  const auto flushed_before = stats_.node[1].blocks_flushed;
+  sys_->migrate_page(page_of(a), 1, 50000);
+  // Node 1's two cached blocks were flushed during the gather, and the
+  // whole page was copied to the new home.
+  EXPECT_GE(stats_.node[1].blocks_flushed, flushed_before + 2);
+  EXPECT_EQ(stats_.node[1].blocks_copied, std::uint64_t(kBlocksPerPage));
+  EXPECT_GE(stats_.node[0].soft_traps, 1u);  // gather trap at the old home
+}
+
+TEST_F(Cluster2Test, ReplicationCostScalesWithCachedBlocks) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x30000;
+  bind(a, 0);
+  // Many blocks cached at node 1 -> a more expensive gather.
+  for (unsigned i = 0; i < 32; ++i)
+    go(1, 0, a + i * kBlockBytes, false, 10000 + i * 1000);
+  const Cycle t0 = 200000;
+  const Cycle end_many = sys_->replicate_page(page_of(a), 1, t0) - t0;
+
+  rebuild();
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  const Cycle end_few = sys_->replicate_page(page_of(a), 1, t0) - t0;
+  EXPECT_GT(end_many, end_few);
+}
+
+TEST_F(Cluster2Test, CollapseChargesWriterTrapAndShootdowns) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x30000;
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  go(2, 0, a, false, 20000);
+  Cycle end = sys_->replicate_page(page_of(a), 1, 50000);
+  end = sys_->replicate_page(page_of(a), 2, end + 1000);
+  // Node 3 writes: both replicas must collapse.
+  const auto traps_before = stats_.node[3].soft_traps;
+  go(3, 0, a, true, end + 10000);
+  EXPECT_GT(stats_.node[3].soft_traps, traps_before);
+  EXPECT_GE(stats_.node[1].tlb_shootdowns, 1u);
+  EXPECT_GE(stats_.node[2].tlb_shootdowns, 1u);
+  EXPECT_FALSE(sys_->page_table().find(page_of(a))->replicated);
+  sys_->check_coherence();
+}
+
+TEST_F(Cluster2Test, RelocationWritesDirtyBlocksHome) {
+  build(SystemKind::kRNuma);
+  const Addr a = 0x50000;
+  bind(a, 0);
+  go(1, 0, a, true, 10000);  // dirty at node 1 (BC + L1)
+  sys_->relocate_to_scoma(1, page_of(a), 50000);
+  // The dirty block went home: directory no longer lists node 1.
+  const DirEntry* e = sys_->directory().find(block_of(a));
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->state, DirState::kExclusive);
+  sys_->check_coherence();
+}
+
+TEST_F(Cluster2Test, MigrationFlushesScomaFramesAtOtherNodes) {
+  build(SystemKind::kRNuma);
+  const Addr a = 0x60000;
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  Cycle end = sys_->relocate_to_scoma(1, page_of(a), 20000);
+  go(1, 0, a, false, end + 100);  // fill the frame
+  ASSERT_NE(sys_->page_cache(1).find(page_of(a)), nullptr);
+  // Migrate the page home 0 -> 2: node 1's S-COMA frame must empty.
+  sys_->migrate_page(page_of(a), 2, end + 50000);
+  const PageCache::Frame* f = sys_->page_cache(1).find(page_of(a));
+  if (f) EXPECT_EQ(f->valid_blocks, 0u);
+  EXPECT_EQ(sys_->page_table().find(page_of(a))->mode[1],
+            PageMode::kUnmapped);
+  sys_->check_coherence();
+}
+
+// --------------------------------------------------------------------------
+// Counter cache (Section 6.4 hardware constraint)
+// --------------------------------------------------------------------------
+
+TEST(CounterCache, UnlimitedNeverEvicts) {
+  CounterCache cc(0);
+  for (Addr p = 0; p < 10000; ++p)
+    EXPECT_EQ(cc.touch(p), CounterCache::kNoPage);
+  EXPECT_EQ(cc.evictions(), 0u);
+}
+
+TEST(CounterCache, EvictsLruWhenFull) {
+  CounterCache cc(2);
+  EXPECT_EQ(cc.touch(1), CounterCache::kNoPage);
+  EXPECT_EQ(cc.touch(2), CounterCache::kNoPage);
+  cc.touch(1);                              // 2 becomes LRU
+  EXPECT_EQ(cc.touch(3), Addr(2));          // evicts 2
+  EXPECT_EQ(cc.touch(2), Addr(1));          // now 1 is LRU
+  EXPECT_EQ(cc.evictions(), 2u);
+}
+
+class CounterCacheSystemTest : public Cluster2Test {};
+
+TEST_F(CounterCacheSystemTest, TinyCounterCacheSuppressesReplication) {
+  // With a single counter entry per home and traffic alternating over
+  // two pages, neither page's counters can accumulate -> replication
+  // never fires. With an unlimited cache the same traffic replicates.
+  auto run_with = [&](std::uint32_t entries) {
+    cfg_ = SystemConfig::base(SystemKind::kCcNumaRep);
+    cfg_.nodes = 4;
+    cfg_.cpus_per_node = 1;
+    cfg_.timing.migrep_threshold = 8;
+    cfg_.migrep_counter_cache_pages = entries;
+    rebuild();
+    const Addr a = 0x100000;
+    const Addr b = a + 1024 * kBlockBytes;  // other page, same BC set
+    bind(a, 0);
+    bind(b, 0, 500);
+    Cycle t = 10000;
+    for (int i = 0; i < 60; ++i) {
+      go(1, 0, a, false, t);
+      t += 2000;
+      go(1, 0, b, false, t);
+      t += 2000;
+    }
+    return stats_.node[1].page_replications;
+  };
+  EXPECT_GT(run_with(0), 0u);   // unlimited counters: fires
+  EXPECT_EQ(run_with(1), 0u);   // one counter entry: history thrashes
+}
+
+// --------------------------------------------------------------------------
+// SharedSpace layout
+// --------------------------------------------------------------------------
+
+TEST(SharedSpace, AllocationsArePageAlignedAndDisjoint) {
+  SharedSpace space;
+  auto a = space.alloc<double>(1000);
+  auto b = space.alloc<double>(1000);
+  EXPECT_EQ(a.addr(0) % kPageBytes, 0u);
+  EXPECT_EQ(b.addr(0) % kPageBytes, 0u);
+  EXPECT_GE(b.addr(0), a.addr(999) + sizeof(double));
+  EXPECT_NE(page_of(a.addr(999)), page_of(b.addr(0)));
+}
+
+TEST(SharedSpace, ColouringBreaksL1Aliasing) {
+  // Equal-sized arrays must not map element-for-element onto the same
+  // direct-mapped L1 sets (the skew inserts 1..3 pages between them).
+  SharedSpace space;
+  const std::size_t n = 8192;  // 64 KB each
+  auto a = space.alloc<double>(n);
+  auto b = space.alloc<double>(n);
+  auto c = space.alloc<double>(n);
+  const std::uint64_t l1_sets = 256;
+  const auto set_of = [&](Addr addr) { return block_of(addr) % l1_sets; };
+  EXPECT_NE(set_of(a.addr(0)), set_of(b.addr(0)));
+  EXPECT_NE(set_of(b.addr(0)), set_of(c.addr(0)));
+}
+
+TEST(SharedSpace, HostBackingRoundTrips) {
+  SharedSpace space;
+  auto a = space.alloc<std::uint32_t>(100);
+  for (std::uint32_t i = 0; i < 100; ++i) a.host(i) = i * 3;
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(a.host(i), i * 3);
+}
+
+// --------------------------------------------------------------------------
+// Misc protocol corners
+// --------------------------------------------------------------------------
+
+TEST_F(Cluster2Test, HomeUpgradeInvalidatesRemoteSharersOnly) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x70000;
+  bind(a, 0);
+  go(1, 0, a, false, 50000);
+  go(0, 1, a, false, 100000);  // second home CPU shares it too
+  go(0, 0, a, true, 200000);   // home upgrades
+  EXPECT_EQ(sys_->block_cache(1).probe(block_of(a)), nullptr);
+  // The peer home L1 was invalidated by the node-level upgrade.
+  EXPECT_EQ(sys_->l1(1).probe(block_of(a)), nullptr);
+  EXPECT_EQ(sys_->l1(0).probe(block_of(a))->state, L1State::kM);
+  sys_->check_coherence();
+}
+
+TEST_F(Cluster2Test, WriteToOwnReplicaCollapsesIt) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x80000;
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  const Cycle end = sys_->replicate_page(page_of(a), 1, 20000);
+  // The replica holder itself writes.
+  go(1, 0, a, true, end + 10000);
+  EXPECT_FALSE(sys_->page_table().find(page_of(a))->replicated);
+  EXPECT_EQ(sys_->page_table().find(page_of(a))->mode[1], PageMode::kCcNuma);
+  sys_->check_coherence();
+}
+
+TEST_F(Cluster2Test, CollapseByHomeWriter) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0x90000;
+  bind(a, 0);
+  go(1, 0, a, false, 10000);
+  const Cycle end = sys_->replicate_page(page_of(a), 1, 20000);
+  go(0, 0, a, true, end + 10000);  // the home writes
+  EXPECT_FALSE(sys_->page_table().find(page_of(a))->replicated);
+  sys_->check_coherence();
+}
+
+TEST_F(Cluster2Test, StatsDistinguishLocalAndRemoteTraffic) {
+  build(SystemKind::kCcNuma);
+  const Addr a = 0xa0000;
+  bind(a, 0);
+  go(0, 0, a + kBlockBytes, false, 10000);   // local fill
+  go(1, 0, a + 2 * kBlockBytes, false, 50000);  // remote fill (after map)
+  EXPECT_GE(stats_.node[0].local_mem_accesses, 2u);
+  EXPECT_EQ(stats_.node[1].remote_misses.total(), 1u);
+  EXPECT_EQ(stats_.node[0].remote_misses.total(), 0u);
+}
+
+TEST_F(Cluster2Test, DeterministicAcrossRebuilds) {
+  for (int round = 0; round < 2; ++round) {
+    build(SystemKind::kRNumaMigRep);
+    Rng rng(99);
+    Cycle t = 0;
+    Cycle sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const NodeId node = NodeId(rng.next_below(cfg_.nodes));
+      const Addr addr = 0x100000 + rng.next_below(8) * kPageBytes +
+                        rng.next_below(64) * kBlockBytes;
+      t += 50;
+      sum += sys_->access(
+          {node * cfg_.cpus_per_node, node, addr, rng.next_below(3) == 0, t});
+    }
+    static Cycle first_sum = 0;
+    if (round == 0)
+      first_sum = sum;
+    else
+      EXPECT_EQ(sum, first_sum);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

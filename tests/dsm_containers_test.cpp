@@ -1,0 +1,192 @@
+// Unit tests: block cache, S-COMA page cache, directory, page table,
+// network timing.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "dsm/block_cache.hpp"
+#include "dsm/directory.hpp"
+#include "dsm/page_cache.hpp"
+#include "dsm/page_table.hpp"
+#include "net/network.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(BlockCache, InstallProbeInvalidate) {
+  BlockCache bc(64 * 1024, 1);
+  EXPECT_EQ(bc.probe(10), nullptr);
+  bc.install(10, NodeState::kShared);
+  ASSERT_NE(bc.probe(10), nullptr);
+  EXPECT_EQ(bc.probe(10)->state, NodeState::kShared);
+  bc.invalidate(10);
+  EXPECT_EQ(bc.probe(10), nullptr);
+  EXPECT_EQ(bc.occupancy(), 0u);
+}
+
+TEST(BlockCache, DirectMappedEviction) {
+  BlockCache bc(64 * 1024, 1);  // 1024 sets
+  bc.install(1, NodeState::kShared);
+  auto v = bc.install(1 + 1024, NodeState::kModified);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.blk, 1u);
+  EXPECT_EQ(v.state, NodeState::kShared);
+}
+
+TEST(BlockCache, SetAssociativeLru) {
+  BlockCache bc(64 * 1024, 4);  // 256 sets, 4 ways
+  // Four blocks in the same set.
+  bc.install(0, NodeState::kShared);
+  bc.install(256, NodeState::kShared);
+  bc.install(512, NodeState::kShared);
+  bc.install(768, NodeState::kShared);
+  bc.touch(0);  // 256 becomes LRU
+  auto v = bc.install(1024, NodeState::kShared);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.blk, 256u);
+  EXPECT_NE(bc.probe(0), nullptr);
+}
+
+TEST(BlockCache, InfiniteNeverEvicts) {
+  BlockCache bc(64, 0);
+  for (Addr b = 0; b < 100000; b += 7) {
+    auto v = bc.install(b, NodeState::kShared);
+    EXPECT_FALSE(v.valid);
+  }
+  EXPECT_NE(bc.probe(7 * 1000), nullptr);
+}
+
+TEST(BlockCache, ReuseInvalidFrame) {
+  BlockCache bc(64 * 1024, 1);
+  bc.install(5, NodeState::kShared);
+  bc.invalidate(5);
+  auto v = bc.install(5 + 1024, NodeState::kShared);
+  EXPECT_FALSE(v.valid);  // took the invalid frame, no eviction
+}
+
+TEST(BlockCache, ForEachBlockOfPage) {
+  BlockCache bc(64 * 1024, 4);
+  const Addr page = 3;
+  bc.install(block_of(block_addr_of_page_block(page, 1)), NodeState::kShared);
+  bc.install(block_of(block_addr_of_page_block(page, 63)), NodeState::kModified);
+  bc.install(block_of(block_addr_of_page_block(page + 1, 1)), NodeState::kShared);
+  int n = 0;
+  bc.for_each_block_of_page(page, [&](BlockCache::Entry&) { n++; });
+  EXPECT_EQ(n, 2);
+}
+
+TEST(PageCache, AllocateFindRelease) {
+  PageCache pc(2);
+  EXPECT_TRUE(pc.has_free_frame());
+  auto& f = pc.allocate(100);
+  f.tag[3] = NodeState::kShared;
+  f.valid_blocks = 1;
+  ASSERT_NE(pc.find(100), nullptr);
+  EXPECT_TRUE(pc.find(100)->has(3));
+  EXPECT_FALSE(pc.find(100)->has(4));
+  pc.release(100);
+  EXPECT_EQ(pc.find(100), nullptr);
+}
+
+TEST(PageCache, CapacityAndVictimSelection) {
+  PageCache pc(2);
+  pc.allocate(1);
+  pc.allocate(2);
+  EXPECT_FALSE(pc.has_free_frame());
+  pc.touch(1);  // 2 becomes LRU
+  EXPECT_EQ(pc.pick_victim(), 2u);
+  pc.touch(2);
+  EXPECT_EQ(pc.pick_victim(), 1u);
+}
+
+TEST(PageCache, InfiniteCapacity) {
+  PageCache pc(0);
+  for (Addr p = 0; p < 10000; ++p) pc.allocate(p);
+  EXPECT_TRUE(pc.has_free_frame());
+  EXPECT_EQ(pc.frames_in_use(), 10000u);
+}
+
+TEST(Directory, EntryLifecycle) {
+  Directory d;
+  EXPECT_EQ(d.find(9), nullptr);
+  DirEntry& e = d.entry(9);
+  e.state = DirState::kShared;
+  e.add_sharer(3);
+  e.add_sharer(5);
+  EXPECT_TRUE(d.find(9)->is_sharer(3));
+  EXPECT_FALSE(d.find(9)->is_sharer(4));
+  EXPECT_EQ(d.find(9)->sharer_count(), 2u);
+  e.remove_sharer(3);
+  EXPECT_EQ(d.find(9)->sharer_count(), 1u);
+  d.erase(9);
+  EXPECT_EQ(d.find(9), nullptr);
+}
+
+TEST(PageTable, FirstTouchBinding) {
+  PageTable pt(8);
+  EXPECT_FALSE(pt.is_bound(7));
+  pt.info(7).home = 3;
+  EXPECT_TRUE(pt.is_bound(7));
+  EXPECT_EQ(pt.find(7)->home, 3u);
+}
+
+TEST(PageTable, CountersStartZeroAndReset) {
+  PageTable pt(8);
+  PageInfo& pi = pt.info(1);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(pi.read_miss_ctr[n], 0u);
+    EXPECT_EQ(pi.write_miss_ctr[n], 0u);
+    EXPECT_EQ(pi.refetch_ctr[n], 0u);
+  }
+  pi.read_miss_ctr[2] = 10;
+  pi.write_miss_ctr[3] = 5;
+  EXPECT_EQ(pi.miss_ctr(2), 10u);
+  pi.reset_migrep_counters();
+  EXPECT_EQ(pi.miss_ctr(2), 0u);
+  EXPECT_EQ(pi.miss_ctr(3), 0u);
+}
+
+TEST(Network, UnloadedTransferLatency) {
+  TimingConfig t;
+  Network net(4, t);
+  const Cycle done = net.transfer(0, 1, 1000);
+  EXPECT_EQ(done, 1000 + t.ni_send + t.net_latency + t.ni_recv);
+  EXPECT_EQ(net.messages(), 1u);
+}
+
+TEST(Network, SendNiContention) {
+  TimingConfig t;
+  Network net(4, t);
+  const Cycle first = net.transfer(0, 1, 1000);
+  // Second message from the same node at the same time queues at the NI.
+  const Cycle second = net.transfer(0, 2, 1000);
+  EXPECT_EQ(second, first + t.ni_send);
+}
+
+TEST(Network, RecvNiContention) {
+  TimingConfig t;
+  Network net(4, t);
+  const Cycle a = net.transfer(0, 3, 1000);
+  const Cycle b = net.transfer(1, 3, 1000);
+  EXPECT_EQ(b, a + t.ni_recv);  // serialized at the receiver
+}
+
+TEST(Network, AsyncTransferConsumesBandwidthOnly) {
+  TimingConfig t;
+  Network net(4, t);
+  net.transfer_async(0, 1, 1000);
+  // A subsequent critical-path message queues behind the writeback.
+  const Cycle done = net.transfer(0, 1, 1000);
+  EXPECT_EQ(done, 1000 + 2 * t.ni_send + t.net_latency + t.ni_recv);
+}
+
+TEST(Network, BulkTransferScalesWithBlocks) {
+  TimingConfig t;
+  Network net(4, t);
+  const Cycle small = net.transfer_bulk(0, 1, 0, 4);
+  Network net2(4, t);
+  const Cycle big = net2.transfer_bulk(0, 1, 0, 64);
+  EXPECT_GT(big, small);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,113 @@
+// Per-application traffic-signature regressions.
+//
+// Each test pins the characteristic behaviour the paper reports for one
+// application (Section 6.1's per-app discussion), so a change to the
+// simulator or a kernel that silently destroys an application's sharing
+// pattern fails loudly here rather than skewing a whole figure.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace dsm {
+namespace {
+
+RunResult run(SystemKind kind, const char* app) {
+  return run_one(paper_spec(kind, app, Scale::kDefault));
+}
+
+TEST(Signature, OceanHasNoMigRepCandidates) {
+  // Paper: "In ocean ... there are only a few candidates for page
+  // migration/replication" — its pages are actively shared by several
+  // nodes. At our scale the count is zero.
+  auto mr = run(SystemKind::kCcNumaMigRep, "ocean");
+  EXPECT_EQ(mr.stats.page_migrations_total(), 0u);
+  EXPECT_EQ(mr.stats.page_replications_total(), 0u);
+  // Yet the capacity traffic is real...
+  auto cc = run(SystemKind::kCcNuma, "ocean");
+  EXPECT_GT(cc.stats.remote_misses_total().capacity_conflict(), 100000u);
+  // ...and R-NUMA removes most of it.
+  auto rn = run(SystemKind::kRNuma, "ocean");
+  EXPECT_LT(rn.stats.remote_misses_total().capacity_conflict() * 5,
+            cc.stats.remote_misses_total().capacity_conflict());
+}
+
+TEST(Signature, RadixIsRelocationHeavy) {
+  // Paper Table 4: radix has by far the highest relocation count and
+  // essentially no migrations/replications.
+  auto rn = run(SystemKind::kRNuma, "radix");
+  EXPECT_GT(rn.stats.relocations_per_node(), 100.0);
+  auto mr = run(SystemKind::kCcNumaMigRep, "radix");
+  EXPECT_EQ(mr.stats.page_replications_total(), 0u);
+  EXPECT_GT(rn.stats.page_relocations_total(),
+            50 * (mr.stats.page_migrations_total() + 1));
+}
+
+TEST(Signature, RaytraceIsReplicationsShowcase) {
+  // The read-shared scene: replication alone removes most of raytrace's
+  // remote misses.
+  auto cc = run(SystemKind::kCcNuma, "raytrace");
+  auto rep = run(SystemKind::kCcNumaRep, "raytrace");
+  EXPECT_GT(rep.stats.page_replications_total(), 0u);
+  EXPECT_LT(rep.stats.remote_misses_total().total() * 2,
+            cc.stats.remote_misses_total().total());
+  EXPECT_LT(rep.cycles, cc.cycles);
+}
+
+TEST(Signature, BarnesTreeSharingFavoursRNuma) {
+  // The octree is re-read by everyone every step: R-NUMA gets within a
+  // small factor of perfect while CC-NUMA pays heavily.
+  auto cc = run(SystemKind::kCcNuma, "barnes");
+  auto rn = run(SystemKind::kRNuma, "barnes");
+  auto pf = run(SystemKind::kPerfectCcNuma, "barnes");
+  EXPECT_GT(cc.normalized_to(pf), 3.0);
+  EXPECT_LT(rn.normalized_to(pf), 1.5);
+  EXPECT_GT(rn.stats.page_relocations_total(), 0u);
+}
+
+TEST(Signature, LuCapacityMissesVanishUnderRNuma) {
+  auto cc = run(SystemKind::kCcNuma, "lu");
+  auto rn = run(SystemKind::kRNuma, "lu");
+  // At least 90% of lu's capacity/conflict misses disappear.
+  EXPECT_LT(rn.stats.remote_misses_total().capacity_conflict() * 10,
+            cc.stats.remote_misses_total().capacity_conflict());
+}
+
+TEST(Signature, CholeskyRelocationsHaveLowReuse) {
+  // Paper: cholesky "do[es] not exhibit reuse of the pages relocated";
+  // R-NUMA's win there is marginal.
+  auto cc = run(SystemKind::kCcNuma, "cholesky");
+  auto rn = run(SystemKind::kRNuma, "cholesky");
+  const double gain = double(cc.cycles) / double(rn.cycles);
+  EXPECT_GT(rn.stats.page_relocations_total(), 0u);
+  EXPECT_LT(gain, 1.25);  // small benefit, unlike barnes/lu/ocean
+  EXPECT_GE(gain, 0.95);  // but not a regression either
+}
+
+TEST(Signature, FmmStaticPartitionLimitsMigration) {
+  // fmm's spatial partition is static: after first touch, migration has
+  // little to do (paper: few migrations, almost no replications).
+  auto mr = run(SystemKind::kCcNumaMigRep, "fmm");
+  EXPECT_LT(mr.stats.migrations_per_node(), 20.0);
+  // And MigRep leaves most of fmm's capacity traffic standing...
+  auto cc = run(SystemKind::kCcNuma, "fmm");
+  EXPECT_GT(mr.stats.remote_misses_total().capacity_conflict() * 2,
+            cc.stats.remote_misses_total().capacity_conflict());
+  // ...while R-NUMA removes nearly all of it.
+  auto rn = run(SystemKind::kRNuma, "fmm");
+  EXPECT_LT(rn.stats.remote_misses_total().capacity_conflict() * 10,
+            cc.stats.remote_misses_total().capacity_conflict());
+}
+
+TEST(Signature, EveryAppBeatsPerfectNever) {
+  // Perfect CC-NUMA lower-bounds every system on every application.
+  for (const auto& app : paper_apps()) {
+    auto pf = run(SystemKind::kPerfectCcNuma, app.c_str());
+    for (SystemKind k :
+         {SystemKind::kCcNuma, SystemKind::kCcNumaMigRep, SystemKind::kRNuma})
+      EXPECT_GE(run(k, app.c_str()).cycles, pf.cycles)
+          << app << "/" << to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,334 @@
+// Unit tests: coroutine engine, quantum scheduling, sync objects.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace dsm {
+namespace {
+
+// Memory model charging a fixed latency per access.
+class FixedLatencyMemory final : public MemorySystem {
+ public:
+  explicit FixedLatencyMemory(Cycle latency) : latency_(latency) {}
+  Cycle access(const MemAccess& a) override {
+    accesses.push_back(a);
+    return a.start + latency_;
+  }
+  void parallel_begin(Cycle) override {}
+  void parallel_end(Cycle) override {}
+  std::vector<MemAccess> accesses;
+
+ private:
+  Cycle latency_;
+};
+
+SystemConfig small_config(std::uint32_t nodes = 2,
+                          std::uint32_t cpus_per_node = 2) {
+  SystemConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cpus_per_node = cpus_per_node;
+  return cfg;
+}
+
+TEST(Engine, ComputeAdvancesClock) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  SystemConfig cfg = small_config();
+  Engine eng(cfg, &mem, &stats);
+  auto body = [](Cpu& cpu) -> SimCall<> { co_await cpu.compute(1234); };
+  eng.spawn(0, body(eng.cpu(0)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, 1234u);
+  EXPECT_EQ(eng.finish_time(), 1234u);
+}
+
+TEST(Engine, ComputeInstrChargesDualIssue) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  auto body = [](Cpu& cpu) -> SimCall<> {
+    co_await cpu.compute_instr(10);  // 5 cycles
+    co_await cpu.compute_instr(3);   // 2 cycles
+  };
+  eng.spawn(0, body(eng.cpu(0)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, 7u);
+}
+
+TEST(Engine, MemoryAccessUsesMemorySystem) {
+  Stats stats(2);
+  FixedLatencyMemory mem(50);
+  Engine eng(small_config(), &mem, &stats);
+  auto body = [](Cpu& cpu) -> SimCall<> {
+    co_await cpu.read(0x1000);
+    co_await cpu.write(0x2000);
+  };
+  eng.spawn(0, body(eng.cpu(0)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, 100u);
+  ASSERT_EQ(mem.accesses.size(), 2u);
+  EXPECT_FALSE(mem.accesses[0].write);
+  EXPECT_TRUE(mem.accesses[1].write);
+  EXPECT_EQ(mem.accesses[1].start, 50u);
+  EXPECT_EQ(stats.shared_reads, 1u);
+  EXPECT_EQ(stats.shared_writes, 1u);
+}
+
+TEST(Engine, CpuToNodeMapping) {
+  Stats stats(4);
+  FixedLatencyMemory mem(1);
+  Engine eng(small_config(4, 4), &mem, &stats);
+  EXPECT_EQ(eng.cpu(0).node, 0u);
+  EXPECT_EQ(eng.cpu(3).node, 0u);
+  EXPECT_EQ(eng.cpu(4).node, 1u);
+  EXPECT_EQ(eng.cpu(15).node, 3u);
+}
+
+TEST(Engine, AllCpusRunToCompletion) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  auto body = [](Cpu& cpu, Cycle n) -> SimCall<> { co_await cpu.compute(n); };
+  for (CpuId c = 0; c < 4; ++c) eng.spawn(c, body(eng.cpu(c), 100 * (c + 1)));
+  eng.run();
+  for (CpuId c = 0; c < 4; ++c) EXPECT_EQ(eng.cpu(c).clock, 100u * (c + 1));
+  EXPECT_EQ(eng.finish_time(), 400u);
+}
+
+TEST(Engine, NestedSimCallsCompose) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  struct Helper {
+    static SimCall<int> inner(Cpu& cpu) {
+      co_await cpu.compute(5);
+      co_await cpu.read(0x40);
+      co_return 99;
+    }
+    static SimCall<> outer(Cpu& cpu, int* out) {
+      const int v = co_await inner(cpu);
+      co_await cpu.compute(5);
+      *out = v;
+    }
+  };
+  int result = 0;
+  eng.spawn(0, Helper::outer(eng.cpu(0), &result));
+  eng.run();
+  EXPECT_EQ(result, 99);
+  EXPECT_EQ(eng.cpu(0).clock, 20u);
+}
+
+TEST(Engine, ExceptionInBodyPropagates) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  auto body = [](Cpu& cpu) -> SimCall<> {
+    co_await cpu.compute(1);
+    throw std::runtime_error("boom");
+  };
+  eng.spawn(0, body(eng.cpu(0)));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, QuantumBoundsSkew) {
+  // Two CPUs issuing only compute steps stay within one quantum of each
+  // other at every memory access.
+  Stats stats(2);
+  SystemConfig cfg = small_config();
+  cfg.quantum = 80;
+  struct SkewCheck final : MemorySystem {
+    Cycle last[2] = {0, 0};
+    Cycle max_skew = 0;
+    Cycle access(const MemAccess& a) override {
+      last[a.cpu] = a.start;
+      const Cycle other = last[1 - a.cpu];
+      if (other > 0) {
+        const Cycle skew = a.start > other ? a.start - other : other - a.start;
+        max_skew = std::max(max_skew, skew);
+      }
+      return a.start + 10;
+    }
+    void parallel_begin(Cycle) override {}
+    void parallel_end(Cycle) override {}
+  } mem;
+  Engine eng(cfg, &mem, &stats);
+  auto body = [](Cpu& cpu) -> SimCall<> {
+    for (int i = 0; i < 200; ++i) {
+      co_await cpu.compute(7);
+      co_await cpu.read(0x1000 + i * 64);
+    }
+  };
+  eng.spawn(0, body(eng.cpu(0)));
+  eng.spawn(1, body(eng.cpu(1)));
+  eng.run();
+  // Identical bodies: skew bounded by quantum + one step.
+  EXPECT_LE(mem.max_skew, cfg.quantum + 17);
+}
+
+TEST(Barrier, ReleasesAtMaxArrivalPlusCost) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  SyncCosts costs;
+  Barrier bar(eng, 2, costs);
+  auto body = [&bar](Cpu& cpu, Cycle work) -> SimCall<> {
+    co_await cpu.compute(work);
+    co_await bar.arrive(cpu);
+  };
+  eng.spawn(0, body(eng.cpu(0), 100));
+  eng.spawn(1, body(eng.cpu(1), 900));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, 900u + costs.barrier_release);
+  EXPECT_EQ(eng.cpu(1).clock, 900u + costs.barrier_release);
+  EXPECT_EQ(stats.barriers, 1u);
+}
+
+TEST(Barrier, Reusable) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  Barrier bar(eng, 4);
+  auto body = [&bar](Cpu& cpu) -> SimCall<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await cpu.compute(10);
+      co_await bar.arrive(cpu);
+    }
+  };
+  for (CpuId c = 0; c < 4; ++c) eng.spawn(c, body(eng.cpu(c)));
+  eng.run();
+  EXPECT_EQ(stats.barriers, 5u);
+  for (CpuId c = 1; c < 4; ++c)
+    EXPECT_EQ(eng.cpu(0).clock, eng.cpu(c).clock);
+}
+
+TEST(Lock, MutualExclusionAndFifo) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  Lock lk(eng);
+  std::vector<CpuId> order;
+  auto body = [&](Cpu& cpu) -> SimCall<> {
+    co_await lk.acquire(cpu);
+    order.push_back(cpu.id);
+    co_await cpu.compute(100);
+    lk.release(cpu);
+  };
+  for (CpuId c = 0; c < 4; ++c) eng.spawn(c, body(eng.cpu(c)));
+  eng.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_FALSE(lk.held());
+  EXPECT_EQ(stats.lock_acquires, 4u);
+  // Critical sections are serialized: completion >= 4 * 100.
+  Cycle max_clock = 0;
+  for (CpuId c = 0; c < 4; ++c) max_clock = std::max(max_clock, eng.cpu(c).clock);
+  EXPECT_GE(max_clock, 400u);
+}
+
+TEST(Lock, UncontendedIsCheap) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  SyncCosts costs;
+  Lock lk(eng, costs);
+  auto body = [&lk](Cpu& cpu) -> SimCall<> {
+    co_await lk.acquire(cpu);
+    lk.release(cpu);
+  };
+  eng.spawn(0, body(eng.cpu(0)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, costs.lock_acquire);
+}
+
+TEST(Flag, WakesAllWaiters) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  SyncCosts costs;
+  Flag flag(eng, costs);
+  auto waiter = [&flag](Cpu& cpu) -> SimCall<> { co_await flag.wait(cpu); };
+  auto setter = [&flag](Cpu& cpu) -> SimCall<> {
+    co_await cpu.compute(500);
+    flag.set(cpu);
+  };
+  eng.spawn(0, waiter(eng.cpu(0)));
+  eng.spawn(1, waiter(eng.cpu(1)));
+  eng.spawn(2, setter(eng.cpu(2)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(0).clock, 500u + costs.flag_wake);
+  EXPECT_EQ(eng.cpu(1).clock, 500u + costs.flag_wake);
+  EXPECT_TRUE(flag.is_set());
+}
+
+TEST(Flag, WaitAfterSetDoesNotBlock) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  Flag flag(eng);
+  auto setter = [&flag](Cpu& cpu) -> SimCall<> {
+    co_await cpu.compute(10);
+    flag.set(cpu);
+  };
+  auto late = [&flag](Cpu& cpu) -> SimCall<> {
+    co_await cpu.compute(5000);
+    co_await flag.wait(cpu);  // already set: continue at own clock
+  };
+  eng.spawn(0, setter(eng.cpu(0)));
+  eng.spawn(1, late(eng.cpu(1)));
+  eng.run();
+  EXPECT_EQ(eng.cpu(1).clock, 5000u);
+}
+
+TEST(EngineDeath, DeadlockDetected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto run_deadlock = [] {
+    Stats stats(2);
+    FixedLatencyMemory mem(10);
+    Engine eng(small_config(), &mem, &stats);
+    Barrier bar(eng, 3);  // only 2 arrivals ever happen
+    auto body = [&bar](Cpu& cpu) -> SimCall<> { co_await bar.arrive(cpu); };
+    eng.spawn(0, body(eng.cpu(0)));
+    eng.spawn(1, body(eng.cpu(1)));
+    eng.run();
+  };
+  EXPECT_DEATH(run_deadlock(), "deadlock");
+}
+
+TEST(SimCall, ValueTaskReturnsValue) {
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  struct H {
+    static SimCall<double> calc(Cpu& cpu) {
+      co_await cpu.compute(1);
+      co_return 2.5;
+    }
+    static SimCall<> root(Cpu& cpu, double* out) {
+      *out = co_await calc(cpu);
+    }
+  };
+  double v = 0;
+  eng.spawn(0, H::root(eng.cpu(0), &v));
+  eng.run();
+  EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(SimCall, MoveSemantics) {
+  auto make = [](Cpu&) -> SimCall<int> { co_return 1; };
+  Stats stats(2);
+  FixedLatencyMemory mem(10);
+  Engine eng(small_config(), &mem, &stats);
+  SimCall<int> a = make(eng.cpu(0));
+  EXPECT_TRUE(a.valid());
+  SimCall<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  a = std::move(b);
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace dsm
