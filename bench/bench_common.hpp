@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@ namespace dsm::bench {
 struct Options {
   Scale scale = Scale::kDefault;
   std::vector<std::string> apps = paper_apps();
+  FabricKind fabric = FabricKind::kNiConstant;
 };
 
 inline Options parse(int argc, char** argv) {
@@ -26,6 +28,18 @@ inline Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper") == 0) o.scale = Scale::kPaper;
     if (std::strcmp(argv[i], "--tiny") == 0) o.scale = Scale::kTiny;
+    if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
+      const std::string f = argv[++i];
+      if (f == "mesh" || f == "mesh-2d") {
+        o.fabric = FabricKind::kMesh2d;
+      } else if (f == "ni" || f == "ni-constant") {
+        o.fabric = FabricKind::kNiConstant;
+      } else {
+        std::fprintf(stderr, "unknown --fabric '%s' (expected mesh|ni)\n",
+                     f.c_str());
+        std::exit(2);
+      }
+    }
     if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
       o.apps.clear();
       std::string list = argv[++i];
@@ -83,6 +97,38 @@ inline NormalizedGrid run_normalized(
     grid.series.push_back(std::move(s));
   }
   return grid;
+}
+
+// Table-4-style per-node interconnect traffic cell:
+// data / coherence-control / page-op kilobytes.
+inline std::string traffic_cell(const RunResult& r) {
+  char buf[96];
+  std::snprintf(
+      buf, sizeof buf, "%.0f/%.0f/%.0f",
+      r.stats.traffic_bytes_per_node(TrafficClass::kData) / 1024.0,
+      r.stats.traffic_bytes_per_node(TrafficClass::kControl) / 1024.0,
+      r.stats.traffic_bytes_per_node(TrafficClass::kPageOp) / 1024.0);
+  return buf;
+}
+
+// Render a traffic table: one row per app, one column per system.
+// `columns` maps a system name to its per-app results (size = #apps).
+inline void print_traffic_table(
+    const std::vector<std::string>& apps,
+    const std::vector<std::pair<std::string, const RunResult*>>& columns,
+    std::size_t stride) {
+  std::vector<std::string> header = {"app"};
+  for (const auto& [name, results] : columns) header.push_back(name);
+  Table t(header);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    auto& row = t.add_row();
+    row.cell(apps[a]);
+    for (const auto& [name, results] : columns)
+      row.cell(traffic_cell(results[a * stride]));
+  }
+  std::printf(
+      "per-node interconnect traffic, data/control/page-op KB:\n%s\n",
+      t.to_string().c_str());
 }
 
 inline void print_geomean_row(const NormalizedGrid& grid) {

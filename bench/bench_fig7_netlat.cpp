@@ -16,13 +16,15 @@ int main(int argc, char** argv) {
   Options opt = parse(argc, argv);
   std::printf(
       "=== Figure 7: 4x network latency (remote:local = 16), normalized to "
-      "perfect CC-NUMA at the same latency ===\nscale: %s\n\n",
-      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)");
+      "perfect CC-NUMA at the same latency ===\nscale: %s   fabric: %s\n\n",
+      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)",
+      to_string(opt.fabric));
 
   const TimingConfig slow_net = TimingConfig::long_latency();
   auto with_latency = [&](SystemKind k) {
     RunSpec s = paper_spec(k, "");
     s.system.timing = slow_net;
+    s.system.fabric = opt.fabric;
     return s;
   };
 
@@ -68,5 +70,15 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %.3f\n", s.name.c_str(),
                 std::exp(logsum / double(s.values.size())));
   }
+
+  // Per-class byte traffic at the long latency, per node (the traffic
+  // that the latency sweep is actually pricing).
+  std::printf("\n");
+  std::vector<std::pair<std::string, const RunResult*>> columns = {
+      {"perfect", &results[0]}};
+  for (std::size_t sys = 0; sys < systems.size(); ++sys)
+    columns.emplace_back(systems[sys].first,
+                         &results[opt.apps.size() * (sys + 1)]);
+  print_traffic_table(opt.apps, columns, /*stride=*/1);
   return 0;
 }

@@ -25,14 +25,19 @@ int main(int argc, char** argv) {
   Options opt = parse(argc, argv);
   std::printf(
       "=== Table 4: per-node page operations and remote misses ===\n"
-      "scale: %s   (misses reported x1000, capacity/conflict in parens)\n\n",
-      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)");
+      "scale: %s   fabric: %s\n"
+      "(misses reported x1000, capacity/conflict in parens)\n\n",
+      opt.scale == Scale::kPaper ? "paper (Table 2)" : "default (reduced)",
+      to_string(opt.fabric));
 
   std::vector<RunSpec> specs;
   for (const auto& app : opt.apps) {
-    specs.push_back(paper_spec(SystemKind::kCcNuma, app, opt.scale));
-    specs.push_back(paper_spec(SystemKind::kCcNumaMigRep, app, opt.scale));
-    specs.push_back(paper_spec(SystemKind::kRNuma, app, opt.scale));
+    for (SystemKind kind : {SystemKind::kCcNuma, SystemKind::kCcNumaMigRep,
+                            SystemKind::kRNuma}) {
+      RunSpec s = paper_spec(kind, app, opt.scale);
+      s.system.fabric = opt.fabric;
+      specs.push_back(s);
+    }
   }
   auto results = run_matrix(specs);
 
@@ -52,5 +57,13 @@ int main(int argc, char** argv) {
         .cell(misses_cell(rn));
   }
   std::printf("%s\n", t.to_string().c_str());
+
+  // The paper's headline metric, now in bytes: per-node interconnect
+  // traffic split into data / coherence-control / page-op classes.
+  print_traffic_table(opt.apps,
+                      {{"CC-NUMA", &results[0]},
+                       {"CC-NUMA+MigRep", &results[1]},
+                       {"R-NUMA", &results[2]}},
+                      /*stride=*/3);
   return 0;
 }

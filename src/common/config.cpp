@@ -28,6 +28,14 @@ bool uses_page_cache(SystemKind k) {
          k == SystemKind::kRNumaMigRep;
 }
 
+const char* to_string(FabricKind k) {
+  switch (k) {
+    case FabricKind::kNiConstant: return "ni-constant";
+    case FabricKind::kMesh2d: return "mesh-2d";
+  }
+  return "?";
+}
+
 TimingConfig TimingConfig::fast_page_ops() { return TimingConfig{}; }
 
 TimingConfig TimingConfig::slow_page_ops() {
@@ -51,7 +59,11 @@ TimingConfig TimingConfig::long_latency() {
   const Cycle target = t.local_miss_total() * 16;
   const Cycle base_remote = t.remote_clean_miss_total();
   DSM_ASSERT(target > base_remote);
+  const Cycle base_net = t.net_latency;
   t.net_latency += (target - base_remote) / 2;
+  // Scale the mesh per-hop latency by the same factor so the sweep hits
+  // the same average remote:local ratio on both fabric backends.
+  t.mesh_hop_latency = t.mesh_hop_latency * t.net_latency / base_net;
   return t;
 }
 

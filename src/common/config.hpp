@@ -37,6 +37,14 @@ bool uses_migrep(SystemKind k);
 // True for systems that include the S-COMA page cache machinery.
 bool uses_page_cache(SystemKind k);
 
+// Interconnect fabric backend (net/fabric.hpp).
+enum class FabricKind : std::uint8_t {
+  kNiConstant = 0,  // constant wire latency, NI contention (the paper)
+  kMesh2d,          // 2D mesh: latency = Manhattan hops x per-hop latency
+};
+
+const char* to_string(FabricKind k);
+
 // All costs in 600 MHz processor cycles (1 bus cycle = 6 CPU cycles).
 struct TimingConfig {
   // --- block-level components -------------------------------------------
@@ -56,6 +64,10 @@ struct TimingConfig {
   Cycle ni_send = 16;          // network-interface send occupancy per message
   Cycle ni_recv = 16;          // network-interface receive occupancy
   Cycle net_latency = 80;      // point-to-point wire latency (Table 3)
+  // Per-hop wire latency of the 2D-mesh fabric. The default makes the
+  // average mesh distance on the paper's 8-node (4x2) machine come out
+  // near the 80-cycle constant model (~2 hops between distinct nodes).
+  Cycle mesh_hop_latency = 40;
   Cycle protocol_fsm = 48;     // protocol engine occupancy per hop pair
   // Remote clean miss total (request + reply through home memory):
   //   l1_miss_detect + bus_arb + bus_addr + bc_lookup
@@ -111,6 +123,14 @@ struct SystemConfig {
 
   std::uint32_t nodes = 8;
   std::uint32_t cpus_per_node = 4;
+
+  // Interconnect backend and mesh geometry (0 = most square layout).
+  FabricKind fabric = FabricKind::kNiConstant;
+  std::uint32_t mesh_width = 0;
+
+  // Per-node miss-history table entries (power of two; the node-level
+  // miss classifier is a finite tagged SRAM table, not unbounded state).
+  std::uint32_t node_history_entries = 1u << 16;
 
   // Caches. The paper: 16-KByte direct-mapped L1s, a 64-KByte inclusive
   // node block cache (= sum of the node's L1s), and a 2.4-MByte S-COMA

@@ -11,9 +11,24 @@ const char* to_string(MissClass c) {
   }
 }
 
+const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kData: return "data";
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kPageOp: return "page-op";
+    default: return "?";
+  }
+}
+
 MissBreakdown Stats::remote_misses_total() const {
   MissBreakdown sum;
   for (const auto& n : node) sum += n.remote_misses;
+  return sum;
+}
+
+TrafficBreakdown Stats::traffic_total() const {
+  TrafficBreakdown sum;
+  for (const auto& n : node) sum += n.traffic;
   return sum;
 }
 
@@ -59,6 +74,11 @@ double Stats::replications_per_node() const {
 double Stats::relocations_per_node() const {
   if (node.empty()) return 0.0;
   return double(page_relocations_total()) / double(node.size());
+}
+
+double Stats::traffic_bytes_per_node(TrafficClass c) const {
+  if (node.empty()) return 0.0;
+  return double(traffic_total().bytes_of(c)) / double(node.size());
 }
 
 }  // namespace dsm

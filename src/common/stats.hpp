@@ -27,6 +27,43 @@ enum class MissClass : std::uint8_t {
 
 const char* to_string(MissClass c);
 
+// Interconnect traffic classes (net/message.hpp maps message kinds onto
+// these). Byte accounting per class is the paper's headline metric:
+// data moved for misses vs. coherence control vs. page operations.
+enum class TrafficClass : std::uint8_t {
+  kData = 0,   // block data payloads (fills, writebacks)
+  kControl,    // coherence-control messages (requests, invals, acks)
+  kPageOp,     // bulk page migration/replication copies
+  kCount,
+};
+
+const char* to_string(TrafficClass c);
+
+// Per-node interconnect traffic, in bytes and messages, by class.
+// Charged at the sending node by the fabric (net/fabric.hpp).
+struct TrafficBreakdown {
+  std::uint64_t bytes[std::size_t(TrafficClass::kCount)] = {0, 0, 0};
+  std::uint64_t msgs[std::size_t(TrafficClass::kCount)] = {0, 0, 0};
+
+  void add(TrafficClass c, std::uint64_t b) {
+    bytes[std::size_t(c)] += b;
+    msgs[std::size_t(c)]++;
+  }
+  std::uint64_t bytes_of(TrafficClass c) const {
+    return bytes[std::size_t(c)];
+  }
+  std::uint64_t msgs_of(TrafficClass c) const { return msgs[std::size_t(c)]; }
+  std::uint64_t total_bytes() const { return bytes[0] + bytes[1] + bytes[2]; }
+  std::uint64_t total_msgs() const { return msgs[0] + msgs[1] + msgs[2]; }
+  TrafficBreakdown& operator+=(const TrafficBreakdown& o) {
+    for (std::size_t i = 0; i < std::size_t(TrafficClass::kCount); ++i) {
+      bytes[i] += o.bytes[i];
+      msgs[i] += o.msgs[i];
+    }
+    return *this;
+  }
+};
+
 struct MissBreakdown {
   std::uint64_t by_class[std::size_t(MissClass::kCount)] = {0, 0, 0};
 
@@ -65,6 +102,9 @@ struct NodeStats {
 
   std::uint64_t blocks_flushed = 0;      // blocks written back by page flushes
   std::uint64_t blocks_copied = 0;       // blocks moved by page copies
+
+  // Interconnect bytes/messages sent by this node, by traffic class.
+  TrafficBreakdown traffic;
 };
 
 struct Stats {
@@ -80,6 +120,7 @@ struct Stats {
 
   // Aggregates used by the harness.
   MissBreakdown remote_misses_total() const;
+  TrafficBreakdown traffic_total() const;
   std::uint64_t page_migrations_total() const;
   std::uint64_t page_replications_total() const;
   std::uint64_t page_relocations_total() const;
@@ -90,6 +131,7 @@ struct Stats {
   double migrations_per_node() const;
   double replications_per_node() const;
   double relocations_per_node() const;
+  double traffic_bytes_per_node(TrafficClass c) const;
 };
 
 }  // namespace dsm

@@ -1,3 +1,12 @@
+// DsmSystem core: construction, the top-level access dispatcher, and
+// the global coherence checker.
+//
+// The protocol engine is decomposed into layered translation units,
+// each speaking to the interconnect only via typed messages
+// (net/message.hpp):
+//   dsm/node_agent.cpp  node-level access paths, snoop, installs/flushes
+//   dsm/home_agent.cpp  cluster-level directory transactions at the home
+//   dsm/page_ops.cpp    page migrate/replicate/collapse/relocate
 #include "dsm/cluster.hpp"
 
 #include <algorithm>
@@ -27,12 +36,9 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
     : cfg_(cfg),
       stats_(stats),
       pt_(cfg.nodes),
-      net_(cfg.nodes, cfg_.timing),
+      net_(make_fabric(cfg_, stats)),
       bus_(cfg.nodes),
-      device_(cfg.nodes),
-      history_(cfg.nodes),
-      counter_cache_(cfg.nodes,
-                     CounterCache(cfg.migrep_counter_cache_pages)) {
+      device_(cfg.nodes) {
   DSM_ASSERT(stats_ != nullptr);
   DSM_ASSERT(stats_->node.size() >= cfg.nodes, "Stats sized for node count");
   const bool infinite_bc = cfg.kind == SystemKind::kPerfectCcNuma;
@@ -43,10 +49,14 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
     l1_.push_back(std::make_unique<L1Cache>(cfg.l1_bytes));
   // The block cache is direct-mapped SRAM, as in the remote-cache
   // designs of the period the paper builds on (Moga & Dubois, HPCA'98).
+  history_.reserve(cfg.nodes);
+  counter_cache_.reserve(cfg.nodes);
   for (NodeId n = 0; n < cfg.nodes; ++n) {
     bc_.push_back(std::make_unique<BlockCache>(
         cfg.block_cache_bytes, infinite_bc ? 0u : 1u));
     pc_.push_back(std::make_unique<PageCache>(has_pc ? pc_pages : 1));
+    history_.emplace_back(cfg.node_history_entries);
+    counter_cache_.emplace_back(cfg.migrep_counter_cache_pages);
   }
 }
 
@@ -133,736 +143,6 @@ Cycle DsmSystem::map_page(const MemAccess& a, PageInfo& pi, Addr page,
   stats_->node[a.node].soft_traps++;
   pi.mode[a.node] = PageMode::kCcNuma;
   return t + cfg_.timing.soft_trap;
-}
-
-// ---------------------------------------------------------------------------
-// L1 hit / upgrade
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::access_hit_or_upgrade(const MemAccess& a, PageInfo& pi,
-                                       Addr blk, L1Cache::Line* ln, Cycle t) {
-  if (!a.write) return t + cfg_.timing.l1_hit;
-  if (l1_writable(ln->state)) {
-    ln->state = L1State::kM;  // E -> M silent upgrade
-    return t + cfg_.timing.l1_hit;
-  }
-
-  // Write hit on S or O: need exclusivity.
-  t += cfg_.timing.l1_miss_detect;
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_arb + cfg_.timing.bus_addr) +
-      cfg_.timing.bus_arb + cfg_.timing.bus_addr;
-
-  // Does the node already own the block cluster-wide?
-  DirEntry& e = dir_.entry(blk);
-  const bool node_exclusive =
-      e.state == DirState::kExclusive && e.owner == a.node;
-  if (!node_exclusive) {
-    t = remote_upgrade(a.node, page_of(a.addr), blk, t);
-    count_page_miss(page_of(a.addr), pi, a.node, /*is_write=*/true, t);
-  }
-  // Invalidate peer L1 copies on this node.
-  for (CpuId c = a.node * cfg_.cpus_per_node;
-       c < (a.node + 1) * cfg_.cpus_per_node; ++c) {
-    if (c != a.cpu) l1_[c]->invalidate(blk, MissClass::kCoherence);
-  }
-  // Node-level state -> modified.
-  if (pi.mode[a.node] == PageMode::kScoma) {
-    PageCache::Frame* f = pc_[a.node]->find(page_of(a.addr));
-    DSM_ASSERT(f && f->has(block_index_in_page(a.addr)));
-    f->tag[block_index_in_page(a.addr)] = NodeState::kModified;
-  } else if (pi.home != a.node) {
-    if (BlockCache::Entry* be = bc_[a.node]->probe(blk))
-      be->state = NodeState::kModified;
-  }
-  l1_[a.cpu]->set_state(blk, L1State::kM);
-  return t + cfg_.timing.fill;
-}
-
-// ---------------------------------------------------------------------------
-// Within-node snoop
-// ---------------------------------------------------------------------------
-
-bool DsmSystem::snoop_node(const MemAccess& a, Addr blk, Cycle& t) {
-  const CpuId first = a.node * cfg_.cpus_per_node;
-  const CpuId last = first + cfg_.cpus_per_node;
-  L1Cache::Line* supplier = nullptr;
-  CpuId supplier_cpu = 0;
-  for (CpuId c = first; c < last; ++c) {
-    if (c == a.cpu) continue;
-    if (L1Cache::Line* ln = l1_[c]->probe(blk)) {
-      if (!supplier || int(ln->state) > int(supplier->state)) {
-        supplier = ln;
-        supplier_cpu = c;
-      }
-    }
-  }
-  if (!supplier) return false;
-
-  if (!a.write) {
-    // Cache-to-cache read supply. MOESI: M -> O, E -> S; O/S unchanged.
-    if (supplier->state == L1State::kM) supplier->state = L1State::kO;
-    if (supplier->state == L1State::kE) supplier->state = L1State::kS;
-    l1_install(a, blk, L1State::kS);
-    t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-        cfg_.timing.fill;
-    return true;
-  }
-
-  // Write: only resolvable within the node if the node is exclusive
-  // cluster-wide (peer holding M/E/O implies node-level kModified, or a
-  // local page with directory exclusivity at this node).
-  DirEntry& e = dir_.entry(blk);
-  const bool node_exclusive =
-      e.state == DirState::kExclusive && e.owner == a.node;
-  if (!node_exclusive) return false;  // fall through to upgrade paths
-  (void)supplier_cpu;
-  for (CpuId c = first; c < last; ++c)
-    if (c != a.cpu) l1_[c]->invalidate(blk, MissClass::kCoherence);
-  l1_install(a, blk, L1State::kM);
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-      cfg_.timing.fill;
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Local (home) access path
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::access_local(const MemAccess& a, PageInfo& pi, Addr blk,
-                              Cycle t) {
-  DirEntry& e = dir_.entry(blk);
-  const NodeId home = a.node;
-
-  // Count the home's own misses so migration can compare usage.
-  count_page_miss(page_of(a.addr), pi, home, a.write, t);
-
-  if (a.write) {
-    if ((e.state == DirState::kShared && e.sharers != (1u << home)) ||
-        (e.state == DirState::kExclusive && e.owner != home)) {
-      t = home_service_exclusive(home, home, blk, t);
-      record_remote_miss(home, MissClass::kCoherence);
-    }
-    t += cfg_.timing.mem_access;
-    e.state = DirState::kExclusive;
-    e.owner = home;
-    e.sharers = 0;
-    l1_install(a, blk, L1State::kM);
-  } else {
-    if (e.state == DirState::kExclusive && e.owner != home) {
-      t = home_recall_shared(home, home, blk, t);
-      record_remote_miss(home, MissClass::kCoherence);
-    }
-    t += cfg_.timing.mem_access;
-    if (!pi.replicated &&
-        (e.state == DirState::kUncached ||
-         (e.state == DirState::kExclusive && e.owner == home))) {
-      // Exclusive-clean grant: the home may silently modify. Never
-      // granted while replicas exist (the page is read-only).
-      e.state = DirState::kExclusive;
-      e.owner = home;
-      e.sharers = 0;
-      l1_install(a, blk, L1State::kE);
-    } else {
-      if (e.state == DirState::kExclusive) {
-        // after recall: owner + home share
-        e.sharers = (1u << e.owner) | (1u << home);
-        e.owner = kNoNode;
-      } else {
-        e.add_sharer(home);
-      }
-      e.state = DirState::kShared;
-      l1_install(a, blk, L1State::kS);
-    }
-  }
-  stats_->node[home].local_mem_accesses++;
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-      cfg_.timing.fill;
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// Remote CC-NUMA (block cache) path
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::access_remote_ccnuma(const MemAccess& a, PageInfo& pi,
-                                      Addr blk, Cycle t) {
-  BlockCache& bc = *bc_[a.node];
-  const Addr page = page_of(a.addr);
-  t += cfg_.timing.bc_lookup;
-
-  if (BlockCache::Entry* be = bc.probe(blk)) {
-    const bool writable = be->state == NodeState::kModified;
-    if (!a.write || writable) {
-      // Block-cache hit. The paper keeps block-cache and page-cache
-      // supply latencies/occupancies comparable (Section 2), so this
-      // path costs the same as a local memory / S-COMA page-cache fill.
-      bc.touch(blk);
-      stats_->node[a.node].bc_hits++;
-      l1_install(a, blk,
-                 a.write ? L1State::kM
-                         : (writable ? L1State::kE : L1State::kS));
-      t += cfg_.timing.mem_access;
-      t = bus_[a.node].reserve(t, cfg_.timing.bus_data) +
-          cfg_.timing.bus_data + cfg_.timing.fill;
-      return t;
-    }
-    // Write to a node-shared block: upgrade at home.
-    t = remote_upgrade(a.node, page, blk, t);
-    count_page_miss(page, pi, a.node, /*is_write=*/true, t);
-    record_remote_miss(a.node, MissClass::kCoherence);
-    be->state = NodeState::kModified;
-    bc.touch(blk);
-    l1_install(a, blk, L1State::kM);
-    t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-        cfg_.timing.fill;
-    return t;
-  }
-
-  // Block-cache miss: remote fetch required.
-  const MissClass node_class = history_[a.node].classify(blk);
-
-  // R-NUMA hook: the refetch counter may trigger relocation to S-COMA.
-  if (cache_policy_) {
-    const Cycle t2 = cache_policy_->on_remote_fetch(a.node, page, pi,
-                                                    node_class, t);
-    if (pi.mode[a.node] == PageMode::kScoma) {
-      // Relocated: service this access through the S-COMA path.
-      return access_scoma(a, pi, blk, t2);
-    }
-    t = t2;
-  }
-
-  record_remote_miss(a.node, node_class);
-  NodeState granted = NodeState::kShared;
-  t = remote_fetch(a.node, page, blk, a.write, t, &granted);
-  bc_install(a.node, blk, granted, t);
-  l1_install(a, blk,
-             a.write ? L1State::kM
-                     : (granted == NodeState::kModified ? L1State::kE
-                                                        : L1State::kS));
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
-      cfg_.timing.bus_arb + cfg_.timing.bus_data + cfg_.timing.fill;
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// S-COMA (page cache) path
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::access_scoma(const MemAccess& a, PageInfo& pi, Addr blk,
-                              Cycle t) {
-  const Addr page = page_of(a.addr);
-  const unsigned bix = block_index_in_page(a.addr);
-  PageCache& pc = *pc_[a.node];
-  PageCache::Frame* f = pc.find(page);
-  DSM_ASSERT(f != nullptr, "S-COMA mapped page has no frame");
-  pc.touch(page);
-
-  // Fine-grain tag lookup (memory inhibit check).
-  t += cfg_.timing.bc_lookup;
-
-  if (f->has(bix)) {
-    const bool writable = f->tag[bix] == NodeState::kModified;
-    if (!a.write || writable) {
-      // Local page-cache hit: the node's own memory supplies.
-      stats_->node[a.node].pc_hits++;
-      l1_install(a, blk,
-                 a.write ? L1State::kM
-                         : (writable ? L1State::kE : L1State::kS));
-      t += cfg_.timing.mem_access;
-      t = bus_[a.node].reserve(t, cfg_.timing.bus_data) +
-          cfg_.timing.bus_data + cfg_.timing.fill;
-      return t;
-    }
-    // Write to a shared tag: upgrade at home.
-    t = remote_upgrade(a.node, page, blk, t);
-    count_page_miss(page, pi, a.node, /*is_write=*/true, t);
-    record_remote_miss(a.node, MissClass::kCoherence);
-    f->tag[bix] = NodeState::kModified;
-    l1_install(a, blk, L1State::kM);
-    t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-        cfg_.timing.fill;
-    return t;
-  }
-
-  // Tag miss: fetch the block from home into the page-cache frame.
-  const MissClass node_class = history_[a.node].classify(blk);
-  record_remote_miss(a.node, node_class);
-  NodeState granted = NodeState::kShared;
-  t = remote_fetch(a.node, page, blk, a.write, t, &granted);
-  if (!f->has(bix)) f->valid_blocks++;
-  f->tag[bix] = a.write ? NodeState::kModified : granted;
-  l1_install(a, blk,
-             a.write ? L1State::kM
-                     : (granted == NodeState::kModified ? L1State::kE
-                                                        : L1State::kS));
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
-      cfg_.timing.bus_arb + cfg_.timing.bus_data + cfg_.timing.fill;
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// Replica path (read-only local copy)
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::access_replica(const MemAccess& a, PageInfo& pi, Addr blk,
-                                Cycle t) {
-  // Local memory supplies; coherence is trivial (page is read-only
-  // cluster-wide while replicated). Track the node as a sharer so the
-  // collapse path and the checker see the L1 copies.
-  DirEntry& e = dir_.entry(blk);
-  if (e.state == DirState::kUncached) e.state = DirState::kShared;
-  DSM_ASSERT(e.state == DirState::kShared,
-             "replicated page block held exclusive");
-  e.add_sharer(a.node);
-  (void)pi;
-  l1_install(a, blk, L1State::kS);
-  stats_->node[a.node].local_mem_accesses++;
-  t += cfg_.timing.mem_access;
-  t = bus_[a.node].reserve(t, cfg_.timing.bus_data) + cfg_.timing.bus_data +
-      cfg_.timing.fill;
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// Cluster-level transactions
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
-                              bool write, Cycle t, NodeState* granted) {
-  PageInfo& pi = pt_.info(page);
-  const NodeId home = pi.home;
-  DSM_ASSERT(home != kNoNode);
-
-  // Request message to home + directory lookup.
-  Cycle th = net_.transfer(requester, home, t);
-  const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
-  th = device_[home].reserve(th, dir_occ) + dir_occ;
-
-  count_page_miss(page, pi, requester, write, th);
-
-  DirEntry& e = dir_.entry(blk);
-  Cycle data_ready;
-  if (write) {
-    data_ready = home_service_exclusive(home, requester, blk, th);
-    data_ready += cfg_.timing.mem_access;
-    e.state = DirState::kExclusive;
-    e.owner = requester;
-    e.sharers = 0;
-    *granted = NodeState::kModified;
-  } else {
-    if (e.state == DirState::kExclusive && e.owner != requester) {
-      data_ready = home_recall_shared(home, requester, blk, th);
-      data_ready += cfg_.timing.mem_access;
-      e.sharers = (1u << e.owner) | (1u << requester);
-      e.state = DirState::kShared;
-      e.owner = kNoNode;
-      *granted = NodeState::kShared;
-    } else if (e.state == DirState::kUncached && !pi.replicated) {
-      data_ready = th + cfg_.timing.mem_access;
-      // Exclusive-clean grant: no other cached copies exist. Never
-      // granted on a replicated page — those are read-only everywhere.
-      e.state = DirState::kExclusive;
-      e.owner = requester;
-      e.sharers = 0;
-      *granted = NodeState::kModified;
-    } else {
-      DSM_ASSERT(e.state == DirState::kShared ||
-                 e.state == DirState::kUncached ||
-                 (e.state == DirState::kExclusive && e.owner == requester));
-      data_ready = th + cfg_.timing.mem_access;
-      if (e.state == DirState::kExclusive) {
-        // The directory thought we owned it (e.g. stale after a local L1
-        // drop); degrade to shared.
-        e.sharers = (1u << requester);
-        e.owner = kNoNode;
-      }
-      e.state = DirState::kShared;
-      e.add_sharer(requester);
-      *granted = NodeState::kShared;
-    }
-  }
-
-  // Reply with data.
-  return net_.transfer(home, requester, data_ready);
-}
-
-Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
-                                Cycle t) {
-  PageInfo& pi = pt_.info(page);
-  const NodeId home = pi.home;
-  DirEntry& e = dir_.entry(blk);
-
-  if (home == requester) {
-    // Upgrade of a local block: invalidate remote sharers from home.
-    const Cycle done = home_service_exclusive(home, requester, blk, t);
-    e.state = DirState::kExclusive;
-    e.owner = requester;
-    e.sharers = 0;
-    return done;
-  }
-
-  Cycle th = net_.transfer(requester, home, t);
-  const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
-  th = device_[home].reserve(th, dir_occ) + dir_occ;
-  const Cycle done = home_service_exclusive(home, requester, blk, th);
-  e.state = DirState::kExclusive;
-  e.owner = requester;
-  e.sharers = 0;
-  return net_.transfer(home, requester, done);
-}
-
-Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
-                                        Addr blk, Cycle t) {
-  DirEntry& e = dir_.entry(blk);
-  Cycle done = t;
-  if (e.state == DirState::kShared) {
-    // Invalidate every sharer except the requester, in parallel.
-    for (NodeId s = 0; s < cfg_.nodes; ++s) {
-      if (!e.is_sharer(s) || s == requester) continue;
-      Cycle ts = (s == home) ? t : net_.transfer(home, s, t);
-      const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
-      ts = device_[s].reserve(ts, occ) + occ;
-      flush_block_at_node(s, blk, /*invalidate=*/true, MissClass::kCoherence);
-      const Cycle ack = (s == home) ? ts : net_.transfer(s, home, ts);
-      done = std::max(done, ack);
-    }
-  } else if (e.state == DirState::kExclusive && e.owner != requester) {
-    const NodeId o = e.owner;
-    Cycle ts = (o == home) ? t : net_.transfer(home, o, t);
-    const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
-    ts = device_[o].reserve(ts, occ) + occ;
-    // Grab the (possibly dirty) data off the owner's bus.
-    ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
-         cfg_.timing.bus_arb + cfg_.timing.bus_data;
-    flush_block_at_node(o, blk, /*invalidate=*/true, MissClass::kCoherence);
-    done = (o == home) ? ts : net_.transfer(o, home, ts);
-  }
-  return done;
-}
-
-Cycle DsmSystem::home_recall_shared(NodeId home, NodeId requester, Addr blk,
-                                    Cycle t) {
-  DirEntry& e = dir_.entry(blk);
-  DSM_ASSERT(e.state == DirState::kExclusive && e.owner != requester);
-  const NodeId o = e.owner;
-  Cycle ts = (o == home) ? t : net_.transfer(home, o, t);
-  const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
-  ts = device_[o].reserve(ts, occ) + occ;
-  ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
-       cfg_.timing.bus_arb + cfg_.timing.bus_data;
-  // Owner keeps a clean shared copy; dirty data returns home.
-  flush_block_at_node(o, blk, /*invalidate=*/false, MissClass::kCoherence);
-  return (o == home) ? ts : net_.transfer(o, home, ts);
-}
-
-// ---------------------------------------------------------------------------
-// Node-level helpers
-// ---------------------------------------------------------------------------
-
-void DsmSystem::flush_block_at_node(NodeId n, Addr blk, bool invalidate,
-                                    MissClass reason) {
-  const CpuId first = n * cfg_.cpus_per_node;
-  for (CpuId c = first; c < first + cfg_.cpus_per_node; ++c) {
-    if (invalidate)
-      l1_[c]->invalidate(blk, reason);
-    else
-      l1_[c]->downgrade_to_shared(blk);
-  }
-  if (BlockCache::Entry* be = bc_[n]->probe(blk)) {
-    if (invalidate) {
-      bc_[n]->invalidate(blk);
-      history_[n].mark(blk, reason);
-    } else {
-      be->state = NodeState::kShared;
-    }
-  }
-  const Addr page = page_of(blk << kBlockBits);
-  if (PageCache::Frame* f = pc_[n]->find(page)) {
-    const unsigned bix = block_index_in_page(blk << kBlockBits);
-    if (f->has(bix)) {
-      if (invalidate) {
-        f->tag[bix] = NodeState::kInvalid;
-        f->valid_blocks--;
-        history_[n].mark(blk, reason);
-      } else {
-        f->tag[bix] = NodeState::kShared;
-      }
-    }
-  }
-}
-
-void DsmSystem::l1_install(const MemAccess& a, Addr blk, L1State st) {
-  L1Cache::Victim v = l1_[a.cpu]->install(blk, st);
-  if (!v.valid || !l1_dirty(v.state)) return;
-  // Dirty victim writes back to its node-level container: the S-COMA
-  // frame or local memory absorb it silently; a remote CC-NUMA block
-  // merges into the (inclusive) block cache. The transfer occupies the
-  // bus off the critical path.
-  bus_[a.node].occupy(a.start, cfg_.timing.bus_data);
-  const Addr vpage = page_of(v.blk << kBlockBits);
-  const PageInfo* vpi = pt_.find(vpage);
-  if (!vpi) return;
-  if (vpi->mode[a.node] == PageMode::kCcNuma && vpi->home != a.node) {
-    // Inclusion guarantees a frame exists unless it was already flushed.
-    if (BlockCache::Entry* be = bc_[a.node]->probe(v.blk))
-      be->state = NodeState::kModified;
-  }
-}
-
-void DsmSystem::bc_install(NodeId n, Addr blk, NodeState st, Cycle t) {
-  BlockCache::Victim v = bc_[n]->install(blk, st);
-  if (!v.valid) return;
-  // Inclusion: L1 copies of the victim must go.
-  const CpuId first = n * cfg_.cpus_per_node;
-  bool dirty = v.state == NodeState::kModified;
-  for (CpuId c = first; c < first + cfg_.cpus_per_node; ++c) {
-    if (L1Cache::Line* ln = l1_[c]->probe(v.blk)) {
-      dirty = dirty || l1_dirty(ln->state);
-      l1_[c]->invalidate(v.blk, MissClass::kCapacity);
-    }
-  }
-  history_[n].mark(v.blk, MissClass::kCapacity);
-  // Victim leaves the node: tell the home (writeback or hint).
-  const Addr vpage = page_of(v.blk << kBlockBits);
-  const PageInfo* vpi = pt_.find(vpage);
-  DSM_ASSERT(vpi && vpi->home != kNoNode);
-  net_.transfer_async(n, vpi->home, t);
-  DirEntry& e = dir_.entry(v.blk);
-  if (dirty) {
-    DSM_DEBUG_ASSERT(e.state == DirState::kExclusive && e.owner == n);
-    e.state = DirState::kUncached;
-    e.owner = kNoNode;
-    e.sharers = 0;
-  } else {
-    if (e.state == DirState::kShared) {
-      e.remove_sharer(n);
-      if (e.sharers == 0) e.state = DirState::kUncached;
-    } else if (e.state == DirState::kExclusive && e.owner == n) {
-      // Clean-exclusive eviction.
-      e.state = DirState::kUncached;
-      e.owner = kNoNode;
-    }
-  }
-}
-
-void DsmSystem::count_page_miss(Addr page, PageInfo& pi, NodeId requester,
-                                bool is_write, Cycle now) {
-  pi.lifetime_misses++;
-
-  // Finite counter hardware (Section 6.4): installing counters for this
-  // page may displace another page's counters at this home.
-  const Addr displaced = counter_cache_[pi.home].touch(page);
-  if (displaced != CounterCache::kNoPage)
-    pt_.info(displaced).reset_migrep_counters();
-
-  if (is_write)
-    pi.write_miss_ctr[requester]++;
-  else
-    pi.read_miss_ctr[requester]++;
-
-  // Periodic reset (Section 3.1): every `migrep_reset_interval` counted
-  // misses to the page, its counters start over, bounding stale history.
-  if (++pi.counted_since_reset >= cfg_.timing.migrep_reset_interval) {
-    pi.counted_since_reset = 0;
-    pi.reset_migrep_counters();
-  }
-  if (home_policy_) home_policy_->on_page_miss(page, pi, requester, is_write, now);
-}
-
-unsigned DsmSystem::flush_page_at_node(NodeId n, Addr page, MissClass reason) {
-  unsigned flushed = 0;
-  const Addr first_blk = page << (kPageBits - kBlockBits);
-  const CpuId first_cpu = n * cfg_.cpus_per_node;
-  for (unsigned i = 0; i < kBlocksPerPage; ++i) {
-    const Addr blk = first_blk + i;
-    bool present = false;
-    for (CpuId c = first_cpu; c < first_cpu + cfg_.cpus_per_node; ++c) {
-      if (l1_[c]->probe(blk)) {
-        l1_[c]->invalidate(blk, reason);
-        present = true;
-      }
-    }
-    if (bc_[n]->probe(blk)) {
-      bc_[n]->invalidate(blk);
-      present = true;
-    }
-    if (PageCache::Frame* f = pc_[n]->find(page)) {
-      if (f->has(i)) {
-        f->tag[i] = NodeState::kInvalid;
-        f->valid_blocks--;
-        present = true;
-      }
-    }
-    if (present) {
-      history_[n].mark(blk, reason);
-      flushed++;
-      // Directory: the node no longer caches the block.
-      DirEntry& e = dir_.entry(blk);
-      if (e.state == DirState::kExclusive && e.owner == n) {
-        e.state = DirState::kUncached;
-        e.owner = kNoNode;
-        e.sharers = 0;
-      } else if (e.state == DirState::kShared) {
-        e.remove_sharer(n);
-        if (e.sharers == 0) e.state = DirState::kUncached;
-      }
-    }
-  }
-  stats_->node[n].blocks_flushed += flushed;
-  return flushed;
-}
-
-// ---------------------------------------------------------------------------
-// Page operations (mechanisms)
-// ---------------------------------------------------------------------------
-
-Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
-  PageInfo& pi = pt_.info(page);
-  const NodeId home = pi.home;
-  DSM_ASSERT(node != home && pi.mode[node] != PageMode::kReplica);
-  Cycle t = std::max(now, pi.op_pending_until);
-
-  // Gather: make the home copy current. Dirty copies anywhere are
-  // written back; every cacher's copy of the page is flushed (poison
-  // bits allow lazy TLB invalidation, so only the home takes a trap).
-  unsigned flushed = 0;
-  for (NodeId s = 0; s < cfg_.nodes; ++s)
-    flushed += flush_page_at_node(s, page, MissClass::kCoherence);
-  stats_->node[home].soft_traps++;
-  const Cycle gather_occ = cfg_.timing.page_op_cost(flushed);
-  t = device_[home].reserve(t, gather_occ) + gather_occ;
-
-  // After the gather no node caches any block of the page; entries that
-  // still read kExclusive are stale left-overs of silent clean-exclusive
-  // L1 drops. Normalize them so replica reads see a consistent state.
-  const Addr first_blk_rep = page << (kPageBits - kBlockBits);
-  for (unsigned i = 0; i < kBlocksPerPage; ++i)
-    dir_.erase(first_blk_rep + i);
-
-  // Copy the page to the replica node.
-  t = net_.transfer_bulk(home, node, t, kBlocksPerPage);
-  const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
-  t = device_[node].reserve(t, copy_occ) + copy_occ;
-  t += cfg_.timing.tlb_shootdown;  // map the replica read-only at `node`
-  stats_->node[node].tlb_shootdowns++;
-
-  pi.replicated = true;
-  pi.replica_mask |= (1u << node);
-  pi.mode[node] = PageMode::kReplica;
-  pi.op_pending_until = t;
-  stats_->node[node].page_replications++;
-  stats_->node[node].blocks_copied += kBlocksPerPage;
-  return t;
-}
-
-Cycle DsmSystem::migrate_page(Addr page, NodeId node, Cycle now) {
-  PageInfo& pi = pt_.info(page);
-  const NodeId old_home = pi.home;
-  DSM_ASSERT(node != old_home);
-  DSM_ASSERT(!pi.replicated, "migrating a replicated page");
-  Cycle t = std::max(now, pi.op_pending_until);
-
-  // Gather and poison: flush every cached copy cluster-wide, set poison
-  // bits for lazy TLB invalidation, lock the mapper.
-  unsigned flushed = 0;
-  for (NodeId s = 0; s < cfg_.nodes; ++s)
-    flushed += flush_page_at_node(s, page, MissClass::kCoherence);
-  stats_->node[old_home].soft_traps++;
-  const Cycle gather_occ = cfg_.timing.page_op_cost(flushed);
-  t = device_[old_home].reserve(t, gather_occ) + gather_occ;
-  t += cfg_.timing.tlb_shootdown;  // home shootdown (others are lazy)
-  stats_->node[old_home].tlb_shootdowns++;
-
-  // Move the page to the new home.
-  t = net_.transfer_bulk(old_home, node, t, kBlocksPerPage);
-  const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
-  t = device_[node].reserve(t, copy_occ) + copy_occ;
-
-  // Directory state for the page's blocks starts clean at the new home.
-  const Addr first_blk = page << (kPageBits - kBlockBits);
-  for (unsigned i = 0; i < kBlocksPerPage; ++i) dir_.erase(first_blk + i);
-
-  pi.home = node;
-  for (NodeId s = 0; s < cfg_.nodes; ++s)
-    pi.mode[s] = (s == node) ? PageMode::kCcNuma : PageMode::kUnmapped;
-  pi.reset_migrep_counters();
-  pi.op_pending_until = t;
-  stats_->node[node].page_migrations++;
-  stats_->node[node].blocks_copied += kBlocksPerPage;
-  return t;
-}
-
-Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
-  PageInfo& pi = pt_.info(page);
-  DSM_ASSERT(pi.replicated);
-  const NodeId home = pi.home;
-  Cycle t = std::max(now, pi.op_pending_until);
-
-  // Write-protection fault at the writer, then a switch-to-R/W request
-  // at the home.
-  stats_->node[writer_node].soft_traps++;
-  t += cfg_.timing.soft_trap;
-  Cycle th = (writer_node == home) ? t : net_.transfer(writer_node, home, t);
-  th = device_[home].reserve(th, cfg_.timing.soft_trap) +
-       cfg_.timing.soft_trap;
-  stats_->node[home].soft_traps++;
-
-  // Invalidate every replica (parallel round trips from home).
-  Cycle done = th;
-  for (NodeId s = 0; s < cfg_.nodes; ++s) {
-    if (!((pi.replica_mask >> s) & 1u)) continue;
-    Cycle ts = net_.transfer(home, s, th);
-    flush_page_at_node(s, page, MissClass::kCoherence);
-    ts += cfg_.timing.tlb_shootdown;
-    stats_->node[s].tlb_shootdowns++;
-    pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
-    done = std::max(done, net_.transfer(s, home, ts));
-  }
-  pi.replicated = false;
-  pi.replica_mask = 0;
-  pi.op_pending_until = done;
-  stats_->node[writer_node].replica_collapses++;
-  const Cycle back =
-      (writer_node == home) ? done : net_.transfer(home, writer_node, done);
-  return back;
-}
-
-Cycle DsmSystem::relocate_to_scoma(NodeId node, Addr page, Cycle now) {
-  PageInfo& pi = pt_.info(page);
-  DSM_ASSERT(pi.mode[node] == PageMode::kCcNuma && pi.home != node);
-  PageCache& pc = *pc_[node];
-  Cycle t = now;
-
-  // Make room: evict the LRU frame if the page cache is full.
-  if (!pc.has_free_frame()) {
-    const Addr victim = pc.pick_victim();
-    PageInfo& vpi = pt_.info(victim);
-    const unsigned vflushed =
-        flush_page_at_node(node, victim, MissClass::kCapacity);
-    pc.release(victim);
-    vpi.mode[node] = PageMode::kUnmapped;  // deallocation: refault later
-    const Cycle evict_occ =
-        cfg_.timing.page_op_cost(vflushed) + cfg_.timing.tlb_shootdown;
-    t = device_[node].reserve(t, evict_occ) + evict_occ;
-    stats_->node[node].page_cache_evictions++;
-    stats_->node[node].tlb_shootdowns++;
-    stats_->node[node].soft_traps++;
-  }
-
-  // Flush the page's CC-NUMA copies at this node (they will be
-  // refetched on demand into the frame) and remap.
-  const unsigned flushed = flush_page_at_node(node, page, MissClass::kCapacity);
-  const Cycle reloc_occ =
-      cfg_.timing.page_op_cost(flushed) + cfg_.timing.tlb_shootdown;
-  t = device_[node].reserve(t, reloc_occ) + reloc_occ;
-  stats_->node[node].soft_traps++;
-  stats_->node[node].tlb_shootdowns++;
-
-  pc.allocate(page);
-  pi.mode[node] = PageMode::kScoma;
-  stats_->node[node].page_relocations++;
-  return t;
 }
 
 // ---------------------------------------------------------------------------

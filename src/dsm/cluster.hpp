@@ -12,12 +12,21 @@
 // and flushing, page copying, replication, migration, replica collapse,
 // S-COMA relocation and page-cache eviction.
 //
+// The implementation is layered across translation units — the access
+// paths and snoop in dsm/node_agent.cpp, the cluster-level directory
+// transactions in dsm/home_agent.cpp, the page-op mechanisms in
+// dsm/page_ops.cpp, and the dispatcher/checker in dsm/cluster.cpp.
+// Each layer reaches the interconnect only through typed messages on
+// the pluggable Fabric (net/fabric.hpp), which accounts traffic in
+// bytes per class at the sending node.
+//
 // Timing model: each access is processed atomically at issue; shared
 // hardware is modeled with busy-until resources (mem/resource.hpp), so
 // the returned completion time includes queueing. Unloaded latencies are
 // calibrated to the paper's Table 3 (local 104 / remote clean 418).
 #pragma once
 
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,7 +40,8 @@
 #include "dsm/page_table.hpp"
 #include "mem/l1_cache.hpp"
 #include "mem/resource.hpp"
-#include "net/network.hpp"
+#include "net/fabric.hpp"
+#include "net/message.hpp"
 #include "sim/memory_if.hpp"
 
 namespace dsm {
@@ -63,17 +73,46 @@ class CachePolicy {
 };
 
 // Per-node miss-class history at node (cluster-device) level.
+//
+// Modeled as a finite direct-mapped tagged table (real hardware keeps a
+// bounded SRAM history, not state for every block of memory), so memory
+// stays bounded over arbitrarily long runs. A conflict evicts the old
+// block's history; its next miss then classifies as cold — the same
+// information loss a finite hardware table exhibits.
 class NodeHistory {
  public:
-  MissClass classify(Addr blk) {
-    auto [it, inserted] = map_.try_emplace(blk, MissClass::kCapacity);
-    if (inserted) return MissClass::kCold;
-    return it->second;
+  explicit NodeHistory(std::uint32_t entries = 1u << 16) {
+    std::uint32_t cap = 1;
+    while (cap < entries && cap < (1u << 30)) cap <<= 1;
+    table_.resize(cap);
   }
-  void mark(Addr blk, MissClass c) { map_[blk] = c; }
+
+  MissClass classify(Addr blk) {
+    Entry& e = table_[index(blk)];
+    if (!e.valid || e.tag != blk) {
+      e = Entry{blk, MissClass::kCapacity, true};
+      return MissClass::kCold;
+    }
+    return e.cls;
+  }
+  void mark(Addr blk, MissClass c) {
+    table_[index(blk)] = Entry{blk, c, true};
+  }
+
+  std::size_t capacity() const { return table_.size(); }
 
  private:
-  std::unordered_map<Addr, MissClass> map_;
+  struct Entry {
+    Addr tag = 0;
+    MissClass cls = MissClass::kCapacity;
+    bool valid = false;
+  };
+  std::size_t index(Addr blk) const {
+    // Mix the upper bits so same-set blocks of distant pages spread out.
+    const Addr h = blk ^ (blk >> 17) ^ (blk >> 31);
+    return std::size_t(h) & (table_.size() - 1);
+  }
+  std::vector<Entry> table_;
 };
 
 // Finite pool of per-page MigRep miss counters at a home node
@@ -87,29 +126,41 @@ class CounterCache {
   bool unlimited() const { return capacity_ == 0; }
 
   // Returns the evicted page, or kNoPage if none was displaced.
+  // O(1): recency is an intrusive list (front = MRU), the map holds
+  // list iterators, and the victim is always the list tail.
   static constexpr Addr kNoPage = ~Addr(0);
   Addr touch(Addr page) {
     if (unlimited()) return kNoPage;
-    auto [it, inserted] = lru_.try_emplace(page, ++clock_);
-    it->second = ++clock_;
-    if (!inserted || lru_.size() <= capacity_) return kNoPage;
-    auto victim = lru_.begin();
-    for (auto i = lru_.begin(); i != lru_.end(); ++i)
-      if (i->second < victim->second) victim = i;
-    const Addr evicted = victim->first;
-    lru_.erase(victim);
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return kNoPage;
+    }
+    lru_.push_front(page);
+    map_.emplace(page, lru_.begin());
+    if (map_.size() <= capacity_) return kNoPage;
+    const Addr evicted = lru_.back();
+    lru_.pop_back();
+    map_.erase(evicted);
     evictions_++;
     return evicted;
   }
 
   std::uint64_t evictions() const { return evictions_; }
-  std::size_t size() const { return lru_.size(); }
+  std::size_t size() const { return map_.size(); }
+
+  // The recency map holds iterators into lru_: moves keep them valid,
+  // copies would not. The system stores these in vectors sized once.
+  CounterCache(CounterCache&&) = default;
+  CounterCache& operator=(CounterCache&&) = default;
+  CounterCache(const CounterCache&) = delete;
+  CounterCache& operator=(const CounterCache&) = delete;
 
  private:
   std::uint32_t capacity_;
-  std::uint64_t clock_ = 0;
   std::uint64_t evictions_ = 0;
-  std::unordered_map<Addr, std::uint64_t> lru_;
+  std::list<Addr> lru_;  // front = most recently touched
+  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
 };
 
 class DsmSystem : public MemorySystem {
@@ -144,7 +195,7 @@ class DsmSystem : public MemorySystem {
   Stats* stats() { return stats_; }
   PageTable& page_table() { return pt_; }
   Directory& directory() { return dir_; }
-  Network& network() { return net_; }
+  Fabric& fabric() { return *net_; }
   L1Cache& l1(CpuId cpu) { return *l1_[cpu]; }
   BlockCache& block_cache(NodeId n) { return *bc_[n]; }
   PageCache& page_cache(NodeId n) { return *pc_[n]; }
@@ -194,6 +245,9 @@ class DsmSystem : public MemorySystem {
   // Marks node history with `reason` when invalidating.
   void flush_block_at_node(NodeId n, Addr blk, bool invalidate,
                            MissClass reason);
+  // Does node `n` hold a modified copy of `blk` in any container? Decides
+  // whether a recall returns data (writeback) or just an ack.
+  bool node_has_dirty_copy(NodeId n, Addr blk);
   // L1 install with victim writeback handling.
   void l1_install(const MemAccess& a, Addr blk, L1State st);
   // BC install with victim eviction (writeback + hint + L1 inclusion).
@@ -216,7 +270,7 @@ class DsmSystem : public MemorySystem {
   Stats* stats_;
   PageTable pt_;
   Directory dir_;
-  Network net_;
+  std::unique_ptr<Fabric> net_;
   std::vector<std::unique_ptr<L1Cache>> l1_;       // per CPU
   std::vector<std::unique_ptr<BlockCache>> bc_;    // per node
   std::vector<std::unique_ptr<PageCache>> pc_;     // per node

@@ -1,0 +1,202 @@
+// Home agent: cluster-level directory transactions.
+//
+// Every transaction here is a sequence of typed interconnect messages
+// (net/message.hpp) between the requesting node and the block's home:
+//
+//   remote_fetch    GETS/GETX -> home, DATA reply (possibly after an
+//                   INVAL/recall round to sharers or the owner)
+//   remote_upgrade  UPGRADE -> home, INVAL round, ACK reply
+//   recalls         INVAL -> owner, WB (dirty data) or ACK back home
+//
+// The fabric charges each message's bytes to its traffic class at the
+// sender, so Table-4 style per-node traffic falls out of these paths
+// without any extra bookkeeping here.
+#include <algorithm>
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
+                              bool write, Cycle t, NodeState* granted) {
+  PageInfo& pi = pt_.info(page);
+  const NodeId home = pi.home;
+  DSM_ASSERT(home != kNoNode);
+
+  // Request message to home + directory lookup.
+  Cycle th = net_->send(
+      Message::control(write ? MsgKind::kGetX : MsgKind::kGetS, requester,
+                       home, blk),
+      t);
+  const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
+  th = device_[home].reserve(th, dir_occ) + dir_occ;
+
+  count_page_miss(page, pi, requester, write, th);
+
+  DirEntry& e = dir_.entry(blk);
+  Cycle data_ready;
+  if (write) {
+    data_ready = home_service_exclusive(home, requester, blk, th);
+    data_ready += cfg_.timing.mem_access;
+    e.state = DirState::kExclusive;
+    e.owner = requester;
+    e.sharers = 0;
+    *granted = NodeState::kModified;
+  } else {
+    if (e.state == DirState::kExclusive && e.owner != requester) {
+      data_ready = home_recall_shared(home, requester, blk, th);
+      data_ready += cfg_.timing.mem_access;
+      e.sharers = (1u << e.owner) | (1u << requester);
+      e.state = DirState::kShared;
+      e.owner = kNoNode;
+      *granted = NodeState::kShared;
+    } else if (e.state == DirState::kUncached && !pi.replicated) {
+      data_ready = th + cfg_.timing.mem_access;
+      // Exclusive-clean grant: no other cached copies exist. Never
+      // granted on a replicated page — those are read-only everywhere.
+      e.state = DirState::kExclusive;
+      e.owner = requester;
+      e.sharers = 0;
+      *granted = NodeState::kModified;
+    } else {
+      DSM_ASSERT(e.state == DirState::kShared ||
+                 e.state == DirState::kUncached ||
+                 (e.state == DirState::kExclusive && e.owner == requester));
+      data_ready = th + cfg_.timing.mem_access;
+      if (e.state == DirState::kExclusive) {
+        // The directory thought we owned it (e.g. stale after a local L1
+        // drop); degrade to shared.
+        e.sharers = (1u << requester);
+        e.owner = kNoNode;
+      }
+      e.state = DirState::kShared;
+      e.add_sharer(requester);
+      *granted = NodeState::kShared;
+    }
+  }
+
+  // Reply with data.
+  return net_->send(Message::data(home, requester, blk), data_ready);
+}
+
+Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
+                                Cycle t) {
+  PageInfo& pi = pt_.info(page);
+  const NodeId home = pi.home;
+  DirEntry& e = dir_.entry(blk);
+
+  if (home == requester) {
+    // Upgrade of a local block: invalidate remote sharers from home.
+    const Cycle done = home_service_exclusive(home, requester, blk, t);
+    e.state = DirState::kExclusive;
+    e.owner = requester;
+    e.sharers = 0;
+    return done;
+  }
+
+  Cycle th =
+      net_->send(Message::control(MsgKind::kUpgrade, requester, home, blk), t);
+  const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
+  th = device_[home].reserve(th, dir_occ) + dir_occ;
+  const Cycle done = home_service_exclusive(home, requester, blk, th);
+  e.state = DirState::kExclusive;
+  e.owner = requester;
+  e.sharers = 0;
+  return net_->send(Message::control(MsgKind::kAck, home, requester, blk),
+                    done);
+}
+
+Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
+                                        Addr blk, Cycle t) {
+  DirEntry& e = dir_.entry(blk);
+  Cycle done = t;
+  if (e.state == DirState::kShared) {
+    // Invalidate every sharer except the requester, in parallel.
+    for (NodeId s = 0; s < cfg_.nodes; ++s) {
+      if (!e.is_sharer(s) || s == requester) continue;
+      Cycle ts = (s == home)
+                     ? t
+                     : net_->send(
+                           Message::control(MsgKind::kInval, home, s, blk), t);
+      const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
+      ts = device_[s].reserve(ts, occ) + occ;
+      flush_block_at_node(s, blk, /*invalidate=*/true, MissClass::kCoherence);
+      const Cycle ack =
+          (s == home)
+              ? ts
+              : net_->send(Message::control(MsgKind::kAck, s, home, blk), ts);
+      done = std::max(done, ack);
+    }
+  } else if (e.state == DirState::kExclusive && e.owner != requester) {
+    const NodeId o = e.owner;
+    Cycle ts = (o == home)
+                   ? t
+                   : net_->send(
+                         Message::control(MsgKind::kInval, home, o, blk), t);
+    const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
+    ts = device_[o].reserve(ts, occ) + occ;
+    // Grab the (possibly dirty) data off the owner's bus.
+    ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
+         cfg_.timing.bus_arb + cfg_.timing.bus_data;
+    // A clean-exclusive owner just acks; only dirty data travels home.
+    const bool dirty = node_has_dirty_copy(o, blk);
+    flush_block_at_node(o, blk, /*invalidate=*/true, MissClass::kCoherence);
+    done = (o == home)
+               ? ts
+               : net_->send(
+                     dirty ? Message::writeback(o, home, blk)
+                           : Message::control(MsgKind::kAck, o, home, blk),
+                     ts);
+  }
+  return done;
+}
+
+Cycle DsmSystem::home_recall_shared(NodeId home, NodeId requester, Addr blk,
+                                    Cycle t) {
+  DirEntry& e = dir_.entry(blk);
+  DSM_ASSERT(e.state == DirState::kExclusive && e.owner != requester);
+  const NodeId o = e.owner;
+  Cycle ts =
+      (o == home)
+          ? t
+          : net_->send(Message::control(MsgKind::kInval, home, o, blk), t);
+  const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
+  ts = device_[o].reserve(ts, occ) + occ;
+  ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
+       cfg_.timing.bus_arb + cfg_.timing.bus_data;
+  // Owner keeps a clean shared copy; dirty data returns home, a clean
+  // owner only acknowledges the downgrade.
+  const bool dirty = node_has_dirty_copy(o, blk);
+  flush_block_at_node(o, blk, /*invalidate=*/false, MissClass::kCoherence);
+  return (o == home)
+             ? ts
+             : net_->send(dirty ? Message::writeback(o, home, blk)
+                                : Message::control(MsgKind::kAck, o, home, blk),
+                          ts);
+}
+
+void DsmSystem::count_page_miss(Addr page, PageInfo& pi, NodeId requester,
+                                bool is_write, Cycle now) {
+  pi.lifetime_misses++;
+
+  // Finite counter hardware (Section 6.4): installing counters for this
+  // page may displace another page's counters at this home.
+  const Addr displaced = counter_cache_[pi.home].touch(page);
+  if (displaced != CounterCache::kNoPage)
+    pt_.info(displaced).reset_migrep_counters();
+
+  if (is_write)
+    pi.write_miss_ctr[requester]++;
+  else
+    pi.read_miss_ctr[requester]++;
+
+  // Periodic reset (Section 3.1): every `migrep_reset_interval` counted
+  // misses to the page, its counters start over, bounding stale history.
+  if (++pi.counted_since_reset >= cfg_.timing.migrep_reset_interval) {
+    pi.counted_since_reset = 0;
+    pi.reset_migrep_counters();
+  }
+  if (home_policy_) home_policy_->on_page_miss(page, pi, requester, is_write, now);
+}
+
+}  // namespace dsm

@@ -1,0 +1,175 @@
+// Page-operation mechanisms: replicate, migrate, collapse, relocate.
+//
+// These are the timed mechanisms the policies (src/protocols) invoke.
+// Bulk page copies travel as kPageBulk messages, charged to the page-op
+// traffic class; the control choreography (collapse requests, replica
+// invalidations, acks) travels as typed control messages. Block flushes
+// during a gather are charged as page-op *device* occupancy
+// (page_op_per_block), not as interconnect messages — see ROADMAP.md
+// "Architecture" for the accounting model.
+#include <algorithm>
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
+  PageInfo& pi = pt_.info(page);
+  const NodeId home = pi.home;
+  DSM_ASSERT(node != home && pi.mode[node] != PageMode::kReplica);
+  Cycle t = std::max(now, pi.op_pending_until);
+
+  // Gather: make the home copy current. Dirty copies anywhere are
+  // written back; every cacher's copy of the page is flushed (poison
+  // bits allow lazy TLB invalidation, so only the home takes a trap).
+  unsigned flushed = 0;
+  for (NodeId s = 0; s < cfg_.nodes; ++s)
+    flushed += flush_page_at_node(s, page, MissClass::kCoherence);
+  stats_->node[home].soft_traps++;
+  const Cycle gather_occ = cfg_.timing.page_op_cost(flushed);
+  t = device_[home].reserve(t, gather_occ) + gather_occ;
+
+  // After the gather no node caches any block of the page; entries that
+  // still read kExclusive are stale left-overs of silent clean-exclusive
+  // L1 drops. Normalize them so replica reads see a consistent state.
+  const Addr first_blk_rep = page << (kPageBits - kBlockBits);
+  for (unsigned i = 0; i < kBlocksPerPage; ++i)
+    dir_.erase(first_blk_rep + i);
+
+  // Copy the page to the replica node.
+  t = net_->send(Message::page_bulk(home, node, page, kBlocksPerPage), t);
+  const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
+  t = device_[node].reserve(t, copy_occ) + copy_occ;
+  t += cfg_.timing.tlb_shootdown;  // map the replica read-only at `node`
+  stats_->node[node].tlb_shootdowns++;
+
+  pi.replicated = true;
+  pi.replica_mask |= (1u << node);
+  pi.mode[node] = PageMode::kReplica;
+  pi.op_pending_until = t;
+  stats_->node[node].page_replications++;
+  stats_->node[node].blocks_copied += kBlocksPerPage;
+  return t;
+}
+
+Cycle DsmSystem::migrate_page(Addr page, NodeId node, Cycle now) {
+  PageInfo& pi = pt_.info(page);
+  const NodeId old_home = pi.home;
+  DSM_ASSERT(node != old_home);
+  DSM_ASSERT(!pi.replicated, "migrating a replicated page");
+  Cycle t = std::max(now, pi.op_pending_until);
+
+  // Gather and poison: flush every cached copy cluster-wide, set poison
+  // bits for lazy TLB invalidation, lock the mapper.
+  unsigned flushed = 0;
+  for (NodeId s = 0; s < cfg_.nodes; ++s)
+    flushed += flush_page_at_node(s, page, MissClass::kCoherence);
+  stats_->node[old_home].soft_traps++;
+  const Cycle gather_occ = cfg_.timing.page_op_cost(flushed);
+  t = device_[old_home].reserve(t, gather_occ) + gather_occ;
+  t += cfg_.timing.tlb_shootdown;  // home shootdown (others are lazy)
+  stats_->node[old_home].tlb_shootdowns++;
+
+  // Move the page to the new home.
+  t = net_->send(Message::page_bulk(old_home, node, page, kBlocksPerPage), t);
+  const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
+  t = device_[node].reserve(t, copy_occ) + copy_occ;
+
+  // Directory state for the page's blocks starts clean at the new home.
+  const Addr first_blk = page << (kPageBits - kBlockBits);
+  for (unsigned i = 0; i < kBlocksPerPage; ++i) dir_.erase(first_blk + i);
+
+  pi.home = node;
+  for (NodeId s = 0; s < cfg_.nodes; ++s)
+    pi.mode[s] = (s == node) ? PageMode::kCcNuma : PageMode::kUnmapped;
+  pi.reset_migrep_counters();
+  pi.op_pending_until = t;
+  stats_->node[node].page_migrations++;
+  stats_->node[node].blocks_copied += kBlocksPerPage;
+  return t;
+}
+
+Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
+  PageInfo& pi = pt_.info(page);
+  DSM_ASSERT(pi.replicated);
+  const NodeId home = pi.home;
+  Cycle t = std::max(now, pi.op_pending_until);
+
+  // Write-protection fault at the writer, then a switch-to-R/W request
+  // at the home (a page-grain upgrade message).
+  stats_->node[writer_node].soft_traps++;
+  t += cfg_.timing.soft_trap;
+  Cycle th =
+      (writer_node == home)
+          ? t
+          : net_->send(
+                Message::control(MsgKind::kUpgrade, writer_node, home, page),
+                t);
+  th = device_[home].reserve(th, cfg_.timing.soft_trap) +
+       cfg_.timing.soft_trap;
+  stats_->node[home].soft_traps++;
+
+  // Invalidate every replica (parallel round trips from home).
+  Cycle done = th;
+  for (NodeId s = 0; s < cfg_.nodes; ++s) {
+    if (!((pi.replica_mask >> s) & 1u)) continue;
+    Cycle ts =
+        net_->send(Message::control(MsgKind::kInval, home, s, page), th);
+    flush_page_at_node(s, page, MissClass::kCoherence);
+    ts += cfg_.timing.tlb_shootdown;
+    stats_->node[s].tlb_shootdowns++;
+    pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
+    done = std::max(
+        done, net_->send(Message::control(MsgKind::kAck, s, home, page), ts));
+  }
+  pi.replicated = false;
+  pi.replica_mask = 0;
+  pi.op_pending_until = done;
+  stats_->node[writer_node].replica_collapses++;
+  const Cycle back =
+      (writer_node == home)
+          ? done
+          : net_->send(
+                Message::control(MsgKind::kAck, home, writer_node, page),
+                done);
+  return back;
+}
+
+Cycle DsmSystem::relocate_to_scoma(NodeId node, Addr page, Cycle now) {
+  PageInfo& pi = pt_.info(page);
+  DSM_ASSERT(pi.mode[node] == PageMode::kCcNuma && pi.home != node);
+  PageCache& pc = *pc_[node];
+  Cycle t = now;
+
+  // Make room: evict the LRU frame if the page cache is full.
+  if (!pc.has_free_frame()) {
+    const Addr victim = pc.pick_victim();
+    PageInfo& vpi = pt_.info(victim);
+    const unsigned vflushed =
+        flush_page_at_node(node, victim, MissClass::kCapacity);
+    pc.release(victim);
+    vpi.mode[node] = PageMode::kUnmapped;  // deallocation: refault later
+    const Cycle evict_occ =
+        cfg_.timing.page_op_cost(vflushed) + cfg_.timing.tlb_shootdown;
+    t = device_[node].reserve(t, evict_occ) + evict_occ;
+    stats_->node[node].page_cache_evictions++;
+    stats_->node[node].tlb_shootdowns++;
+    stats_->node[node].soft_traps++;
+  }
+
+  // Flush the page's CC-NUMA copies at this node (they will be
+  // refetched on demand into the frame) and remap.
+  const unsigned flushed = flush_page_at_node(node, page, MissClass::kCapacity);
+  const Cycle reloc_occ =
+      cfg_.timing.page_op_cost(flushed) + cfg_.timing.tlb_shootdown;
+  t = device_[node].reserve(t, reloc_occ) + reloc_occ;
+  stats_->node[node].soft_traps++;
+  stats_->node[node].tlb_shootdowns++;
+
+  pc.allocate(page);
+  pi.mode[node] = PageMode::kScoma;
+  stats_->node[node].page_relocations++;
+  return t;
+}
+
+}  // namespace dsm

@@ -1,0 +1,79 @@
+#include "net/fabric.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dsm {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kGetS: return "GETS";
+    case MsgKind::kGetX: return "GETX";
+    case MsgKind::kUpgrade: return "UPGRADE";
+    case MsgKind::kInval: return "INVAL";
+    case MsgKind::kAck: return "ACK";
+    case MsgKind::kData: return "DATA";
+    case MsgKind::kWriteback: return "WB";
+    case MsgKind::kHint: return "HINT";
+    case MsgKind::kPageBulk: return "PAGE";
+    case MsgKind::kCount: break;
+  }
+  return "?";
+}
+
+void Fabric::account(const Message& m) {
+  DSM_DEBUG_ASSERT(m.src != m.dst, "fabric message to self");
+  DSM_DEBUG_ASSERT(m.src < nodes() && m.dst < nodes());
+  messages_++;
+  bytes_ += m.total_bytes();
+  msgs_by_kind_[std::size_t(m.kind)]++;
+  if (stats_ && m.src < stats_->node.size())
+    stats_->node[m.src].traffic.add(m.cls(), m.total_bytes());
+}
+
+Cycle Fabric::send(const Message& m, Cycle ready) {
+  account(m);
+  const Cycle socc = occupancy(m, timing_->ni_send);
+  const Cycle depart = send_[m.src].reserve(ready, socc) + socc;
+  const Cycle at_dest = depart + latency(m.src, m.dst);
+  const Cycle rocc = occupancy(m, timing_->ni_recv);
+  return recv_[m.dst].reserve(at_dest, rocc) + rocc;
+}
+
+void Fabric::post(const Message& m, Cycle ready) {
+  account(m);
+  const Cycle socc = occupancy(m, timing_->ni_send);
+  send_[m.src].occupy(ready, socc);
+  recv_[m.dst].occupy(ready + socc + latency(m.src, m.dst),
+                      occupancy(m, timing_->ni_recv));
+}
+
+MeshFabric::MeshFabric(std::uint32_t nodes, const TimingConfig& t,
+                       Stats* stats, std::uint32_t width)
+    : Fabric(nodes, t, stats), width_(width) {
+  DSM_ASSERT(nodes > 0);
+  if (width_ == 0) {
+    // Most square factorization: largest divisor <= sqrt(nodes) gives
+    // the height; falls back to a 1xN chain for primes.
+    std::uint32_t best = 1;
+    for (std::uint32_t d = 1; d * d <= nodes; ++d)
+      if (nodes % d == 0) best = d;
+    width_ = nodes / best;
+  }
+  DSM_ASSERT(width_ >= 1 && width_ <= nodes);
+}
+
+std::unique_ptr<Fabric> make_fabric(const SystemConfig& cfg, Stats* stats) {
+  switch (cfg.fabric) {
+    case FabricKind::kNiConstant:
+      return std::make_unique<NiFabric>(cfg.nodes, cfg.timing, stats);
+    case FabricKind::kMesh2d:
+      return std::make_unique<MeshFabric>(cfg.nodes, cfg.timing, stats,
+                                          cfg.mesh_width);
+  }
+  DSM_ASSERT(false, "unknown fabric kind");
+  return nullptr;
+}
+
+}  // namespace dsm

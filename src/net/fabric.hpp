@@ -1,0 +1,124 @@
+// Cluster interconnect fabric: pluggable topology behind a typed
+// message API.
+//
+// Fabric owns the per-node network interfaces (send + receive, each a
+// FIFO busy-until resource with per-message occupancy) and the byte
+// accounting: every message handed to send()/post() is charged, whole,
+// to its traffic class at the *sending* node's Stats. Backends differ
+// only in the wire latency function:
+//
+//   NiFabric    the paper's model — "a point-to-point network with a
+//               constant latency of 80 cycles but model contention at
+//               the network interfaces accurately".
+//   MeshFabric  a 2D mesh: wire latency = Manhattan hop count x
+//               per-hop latency, so the Fig 7 network-latency
+//               sensitivity can be driven by real structure (node
+//               placement) instead of a scalar knob.
+//
+// Timing contract (identical to the original Network for NiFabric):
+//   depart = reserve(send NI of src, ready, occ) + occ
+//   arrive = reserve(recv NI of dst, depart + latency(src,dst), occ')
+//            + occ'
+// where occ scales with the payload (bulk page copies occupy the NIs
+// proportionally: ni_send x max(1, blocks/4)).
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/resource.hpp"
+#include "net/message.hpp"
+
+namespace dsm {
+
+class Fabric {
+ public:
+  Fabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats)
+      : timing_(&t), stats_(stats), send_(nodes), recv_(nodes) {}
+  virtual ~Fabric() = default;
+
+  // Deliver one critical-path message; returns the time the payload is
+  // available at the destination device. The caller waits.
+  Cycle send(const Message& m, Cycle ready);
+
+  // Off-critical-path traffic (writebacks, replacement hints): occupies
+  // the NIs and is accounted, but the caller does not wait.
+  void post(const Message& m, Cycle ready);
+
+  virtual const char* name() const = 0;
+
+  // Wire latency between two distinct nodes, excluding NI occupancies.
+  virtual Cycle latency(NodeId from, NodeId to) const = 0;
+
+  // --- introspection ------------------------------------------------------
+  std::uint32_t nodes() const { return std::uint32_t(send_.size()); }
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t messages(MsgKind k) const {
+    return msgs_by_kind_[std::size_t(k)];
+  }
+  std::uint64_t bytes() const { return bytes_; }
+  const Resource& send_ni(NodeId n) const { return send_[n]; }
+  const Resource& recv_ni(NodeId n) const { return recv_[n]; }
+  const TimingConfig& timing() const { return *timing_; }
+
+ private:
+  // NI occupancy for a message: one slot for anything up to a block,
+  // proportional for bulk payloads.
+  Cycle occupancy(const Message& m, Cycle per_message) const {
+    return per_message * std::max(1u, m.payload_blocks / 4);
+  }
+  void account(const Message& m);
+
+  const TimingConfig* timing_;
+  Stats* stats_;  // may be null (unit tests); accounting then stays local
+  std::vector<Resource> send_;
+  std::vector<Resource> recv_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t msgs_by_kind_[std::size_t(MsgKind::kCount)] = {};
+};
+
+// Constant-latency point-to-point network (the paper's base model).
+class NiFabric final : public Fabric {
+ public:
+  using Fabric::Fabric;
+  const char* name() const override { return "ni-constant"; }
+  Cycle latency(NodeId, NodeId) const override {
+    return timing().net_latency;
+  }
+};
+
+// 2D mesh with X-Y routing: wire latency is the Manhattan distance
+// between the endpoints' grid positions times the per-hop latency.
+class MeshFabric final : public Fabric {
+ public:
+  // width = 0 picks the most square factorization of `nodes`.
+  MeshFabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats,
+             std::uint32_t width = 0);
+
+  const char* name() const override { return "mesh-2d"; }
+  Cycle latency(NodeId from, NodeId to) const override {
+    return Cycle(hops(from, to)) * timing().mesh_hop_latency;
+  }
+
+  unsigned hops(NodeId from, NodeId to) const {
+    const int dx = int(from % width_) - int(to % width_);
+    const int dy = int(from / width_) - int(to / width_);
+    return unsigned(std::abs(dx) + std::abs(dy));
+  }
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return (nodes() + width_ - 1) / width_; }
+
+ private:
+  std::uint32_t width_;
+};
+
+// Build the fabric selected by cfg.fabric.
+std::unique_ptr<Fabric> make_fabric(const SystemConfig& cfg, Stats* stats);
+
+}  // namespace dsm

@@ -159,7 +159,9 @@ TEST_F(Cluster2Test, MigrationFlushesScomaFramesAtOtherNodes) {
   // Migrate the page home 0 -> 2: node 1's S-COMA frame must empty.
   sys_->migrate_page(page_of(a), 2, end + 50000);
   const PageCache::Frame* f = sys_->page_cache(1).find(page_of(a));
-  if (f) EXPECT_EQ(f->valid_blocks, 0u);
+  if (f) {
+    EXPECT_EQ(f->valid_blocks, 0u);
+  }
   EXPECT_EQ(sys_->page_table().find(page_of(a))->mode[1],
             PageMode::kUnmapped);
   sys_->check_coherence();

@@ -1,5 +1,5 @@
-// Unit tests: block cache, S-COMA page cache, directory, page table,
-// network timing.
+// Unit tests: block cache, S-COMA page cache, directory, page table.
+// (Interconnect fabric timing and accounting live in fabric_test.cpp.)
 #include <gtest/gtest.h>
 
 #include "common/config.hpp"
@@ -7,7 +7,6 @@
 #include "dsm/directory.hpp"
 #include "dsm/page_cache.hpp"
 #include "dsm/page_table.hpp"
-#include "net/network.hpp"
 
 namespace dsm {
 namespace {
@@ -143,49 +142,6 @@ TEST(PageTable, CountersStartZeroAndReset) {
   pi.reset_migrep_counters();
   EXPECT_EQ(pi.miss_ctr(2), 0u);
   EXPECT_EQ(pi.miss_ctr(3), 0u);
-}
-
-TEST(Network, UnloadedTransferLatency) {
-  TimingConfig t;
-  Network net(4, t);
-  const Cycle done = net.transfer(0, 1, 1000);
-  EXPECT_EQ(done, 1000 + t.ni_send + t.net_latency + t.ni_recv);
-  EXPECT_EQ(net.messages(), 1u);
-}
-
-TEST(Network, SendNiContention) {
-  TimingConfig t;
-  Network net(4, t);
-  const Cycle first = net.transfer(0, 1, 1000);
-  // Second message from the same node at the same time queues at the NI.
-  const Cycle second = net.transfer(0, 2, 1000);
-  EXPECT_EQ(second, first + t.ni_send);
-}
-
-TEST(Network, RecvNiContention) {
-  TimingConfig t;
-  Network net(4, t);
-  const Cycle a = net.transfer(0, 3, 1000);
-  const Cycle b = net.transfer(1, 3, 1000);
-  EXPECT_EQ(b, a + t.ni_recv);  // serialized at the receiver
-}
-
-TEST(Network, AsyncTransferConsumesBandwidthOnly) {
-  TimingConfig t;
-  Network net(4, t);
-  net.transfer_async(0, 1, 1000);
-  // A subsequent critical-path message queues behind the writeback.
-  const Cycle done = net.transfer(0, 1, 1000);
-  EXPECT_EQ(done, 1000 + 2 * t.ni_send + t.net_latency + t.ni_recv);
-}
-
-TEST(Network, BulkTransferScalesWithBlocks) {
-  TimingConfig t;
-  Network net(4, t);
-  const Cycle small = net.transfer_bulk(0, 1, 0, 4);
-  Network net2(4, t);
-  const Cycle big = net2.transfer_bulk(0, 1, 0, 64);
-  EXPECT_GT(big, small);
 }
 
 }  // namespace

@@ -283,7 +283,7 @@ TEST(Flag, WaitAfterSetDoesNotBlock) {
 }
 
 TEST(EngineDeath, DeadlockDetected) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   auto run_deadlock = [] {
     Stats stats(2);
     FixedLatencyMemory mem(10);
