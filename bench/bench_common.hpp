@@ -18,9 +18,23 @@
 namespace dsm::bench {
 
 struct Options {
+  static constexpr std::uint32_t kLinkBwUnset = ~std::uint32_t(0);
+
   Scale scale = Scale::kDefault;
   std::vector<std::string> apps = paper_apps();
   FabricKind fabric = FabricKind::kNiConstant;
+  // Mesh/torus link bandwidth override (bytes/cycle; 0 = NI-only wire
+  // model); kLinkBwUnset keeps the TimingConfig default.
+  std::uint32_t link_bw = kLinkBwUnset;
+  std::string json_path;  // --json FILE: machine-readable per-class bytes
+
+  // Apply the fabric selection to one run's system config.
+  void apply(SystemConfig& sc) const {
+    sc.fabric = fabric;
+    if (link_bw != kLinkBwUnset)
+      sc.timing.mesh_link_bytes_per_cycle = link_bw;
+  }
+  bool routed_fabric() const { return fabric != FabricKind::kNiConstant; }
 };
 
 inline Options parse(int argc, char** argv) {
@@ -32,14 +46,32 @@ inline Options parse(int argc, char** argv) {
       const std::string f = argv[++i];
       if (f == "mesh" || f == "mesh-2d") {
         o.fabric = FabricKind::kMesh2d;
+      } else if (f == "torus" || f == "torus-2d") {
+        o.fabric = FabricKind::kTorus2d;
       } else if (f == "ni" || f == "ni-constant") {
         o.fabric = FabricKind::kNiConstant;
       } else {
-        std::fprintf(stderr, "unknown --fabric '%s' (expected mesh|ni)\n",
+        std::fprintf(stderr,
+                     "unknown --fabric '%s' (expected mesh|torus|ni)\n",
                      f.c_str());
         std::exit(2);
       }
     }
+    if (std::strcmp(argv[i], "--link-bw") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v >= Options::kLinkBwUnset) {
+        std::fprintf(stderr,
+                     "bad --link-bw '%s' (expected bytes/cycle; 0 disables "
+                     "link contention)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.link_bw = std::uint32_t(v);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      o.json_path = argv[++i];
     if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
       o.apps.clear();
       std::string list = argv[++i];
@@ -129,6 +161,81 @@ inline void print_traffic_table(
   std::printf(
       "per-node interconnect traffic, data/control/page-op KB:\n%s\n",
       t.to_string().c_str());
+}
+
+// Link-contention cell: peak FIFO depth on any mesh/torus link plus the
+// per-node link-occupancy kilobytes (each traversal counted).
+inline std::string link_cell(const RunResult& r) {
+  char buf[64];
+  const double kb_per_node =
+      r.stats.node.empty()
+          ? 0.0
+          : double(r.stats.link_bytes_total()) / 1024.0 /
+                double(r.stats.node.size());
+  std::snprintf(buf, sizeof buf, "q=%u %.0fKB", r.stats.link_max_queue_depth(),
+                kb_per_node);
+  return buf;
+}
+
+// Render the link-contention table (same shape as print_traffic_table);
+// meaningful only for runs on a routed fabric (mesh/torus).
+inline void print_link_table(
+    const std::vector<std::string>& apps,
+    const std::vector<std::pair<std::string, const RunResult*>>& columns,
+    std::size_t stride) {
+  std::vector<std::string> header = {"app"};
+  for (const auto& [name, results] : columns) header.push_back(name);
+  Table t(header);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    auto& row = t.add_row();
+    row.cell(apps[a]);
+    for (const auto& [name, results] : columns)
+      row.cell(link_cell(results[a * stride]));
+  }
+  std::printf(
+      "link-level contention, peak queue depth / per-node link-occupancy "
+      "KB:\n%s\n",
+      t.to_string().c_str());
+}
+
+// Emit the per-app x per-system traffic split as a flat JSON array so
+// CI can archive the bytes-per-class trajectory as a workflow artifact.
+inline void write_traffic_json(
+    const std::string& path, const char* bench,
+    const std::vector<std::string>& apps,
+    const std::vector<std::pair<std::string, const RunResult*>>& columns,
+    std::size_t stride) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (const auto& [name, results] : columns) {
+      const RunResult& r = results[a * stride];
+      std::fprintf(
+          f,
+          "%s  {\"bench\": \"%s\", \"app\": \"%s\", \"system\": \"%s\",\n"
+          "   \"fabric\": \"%s\", \"cycles\": %llu,\n"
+          "   \"data_bytes_per_node\": %.1f, \"control_bytes_per_node\": "
+          "%.1f, \"pageop_bytes_per_node\": %.1f,\n"
+          "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u}",
+          first ? "" : ",\n", bench, apps[a].c_str(), name.c_str(),
+          to_string(r.spec.system.fabric),
+          static_cast<unsigned long long>(r.cycles),
+          r.stats.traffic_bytes_per_node(TrafficClass::kData),
+          r.stats.traffic_bytes_per_node(TrafficClass::kControl),
+          r.stats.traffic_bytes_per_node(TrafficClass::kPageOp),
+          static_cast<unsigned long long>(r.stats.link_bytes_total()),
+          r.stats.link_max_queue_depth());
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 inline void print_geomean_row(const NormalizedGrid& grid) {

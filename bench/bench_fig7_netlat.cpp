@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   auto with_latency = [&](SystemKind k) {
     RunSpec s = paper_spec(k, "");
     s.system.timing = slow_net;
-    s.system.fabric = opt.fabric;
+    opt.apply(s.system);
     return s;
   };
 
@@ -80,5 +80,13 @@ int main(int argc, char** argv) {
     columns.emplace_back(systems[sys].first,
                          &results[opt.apps.size() * (sys + 1)]);
   print_traffic_table(opt.apps, columns, /*stride=*/1);
+
+  // On a routed fabric the latency sweep also exercises the link-level
+  // router contention: show where the queueing went.
+  if (opt.routed_fabric()) print_link_table(opt.apps, columns, /*stride=*/1);
+
+  if (!opt.json_path.empty())
+    write_traffic_json(opt.json_path, "fig7_netlat", opt.apps, columns,
+                       /*stride=*/1);
   return 0;
 }

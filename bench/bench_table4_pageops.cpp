@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     for (SystemKind kind : {SystemKind::kCcNuma, SystemKind::kCcNumaMigRep,
                             SystemKind::kRNuma}) {
       RunSpec s = paper_spec(kind, app, opt.scale);
-      s.system.fabric = opt.fabric;
+      opt.apply(s.system);
       specs.push_back(s);
     }
   }
@@ -60,10 +60,16 @@ int main(int argc, char** argv) {
 
   // The paper's headline metric, now in bytes: per-node interconnect
   // traffic split into data / coherence-control / page-op classes.
-  print_traffic_table(opt.apps,
-                      {{"CC-NUMA", &results[0]},
-                       {"CC-NUMA+MigRep", &results[1]},
-                       {"R-NUMA", &results[2]}},
-                      /*stride=*/3);
+  const std::vector<std::pair<std::string, const RunResult*>> columns = {
+      {"CC-NUMA", &results[0]},
+      {"CC-NUMA+MigRep", &results[1]},
+      {"R-NUMA", &results[2]}};
+  print_traffic_table(opt.apps, columns, /*stride=*/3);
+
+  if (opt.routed_fabric()) print_link_table(opt.apps, columns, /*stride=*/3);
+
+  if (!opt.json_path.empty())
+    write_traffic_json(opt.json_path, "table4_pageops", opt.apps, columns,
+                       /*stride=*/3);
   return 0;
 }

@@ -32,6 +32,7 @@ const char* to_string(FabricKind k) {
   switch (k) {
     case FabricKind::kNiConstant: return "ni-constant";
     case FabricKind::kMesh2d: return "mesh-2d";
+    case FabricKind::kTorus2d: return "torus-2d";
   }
   return "?";
 }

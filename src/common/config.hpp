@@ -41,6 +41,7 @@ bool uses_page_cache(SystemKind k);
 enum class FabricKind : std::uint8_t {
   kNiConstant = 0,  // constant wire latency, NI contention (the paper)
   kMesh2d,          // 2D mesh: latency = Manhattan hops x per-hop latency
+  kTorus2d,         // 2D torus: mesh router core with wraparound links
 };
 
 const char* to_string(FabricKind k);
@@ -68,6 +69,13 @@ struct TimingConfig {
   // average mesh distance on the paper's 8-node (4x2) machine come out
   // near the 80-cycle constant model (~2 hops between distinct nodes).
   Cycle mesh_hop_latency = 40;
+  // Link bandwidth of the mesh/torus fabric: a message serializes
+  // through every directed link on its route for
+  // ceil(total_bytes / mesh_link_bytes_per_cycle) cycles, so dense
+  // traffic queues inside the network, not only at the edge NIs.
+  // 0 disables link-level contention (hop-latency-only wire model);
+  // link contention changes latency, never the per-class byte counts.
+  std::uint32_t mesh_link_bytes_per_cycle = 4;
   Cycle protocol_fsm = 48;     // protocol engine occupancy per hop pair
   // Remote clean miss total (request + reply through home memory):
   //   l1_miss_detect + bus_arb + bus_addr + bc_lookup

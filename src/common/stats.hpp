@@ -105,6 +105,16 @@ struct NodeStats {
 
   // Interconnect bytes/messages sent by this node, by traffic class.
   TrafficBreakdown traffic;
+
+  // Link-level router contention (mesh/torus fabric with
+  // mesh_link_bytes_per_cycle > 0), aggregated over this node's four
+  // outgoing links. link_bytes counts each traversal — a message
+  // crossing h links adds h x its size here — so it measures channel
+  // occupancy, unlike `traffic`, which charges each message once at
+  // its sender. All three stay zero on the NI-only wire models.
+  std::uint64_t link_bytes = 0;
+  Cycle link_busy = 0;                     // serialization cycles reserved
+  std::uint32_t link_max_queue_depth = 0;  // peak FIFO depth, any out-link
 };
 
 struct Stats {
@@ -132,6 +142,11 @@ struct Stats {
   double replications_per_node() const;
   double relocations_per_node() const;
   double traffic_bytes_per_node(TrafficClass c) const;
+
+  // Link-contention aggregates (zero on NI-only wire models).
+  std::uint64_t link_bytes_total() const;
+  Cycle link_busy_total() const;
+  std::uint32_t link_max_queue_depth() const;
 };
 
 }  // namespace dsm

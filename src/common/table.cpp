@@ -61,6 +61,17 @@ std::string Table::to_string() const {
 
 void Table::print(std::ostream& os) const { os << to_string(); }
 
+std::string render_meter(double frac, int width) {
+  frac = std::min(1.0, std::max(0.0, frac));
+  const int filled = int(frac * width + 0.5);
+  std::string s = "[";
+  s.append(std::size_t(filled), '#');
+  s.append(std::size_t(width - filled), '.');
+  char pct[16];
+  std::snprintf(pct, sizeof pct, "] %3.0f%%", frac * 100.0);
+  return s + pct;
+}
+
 std::string render_series(const std::vector<std::string>& labels,
                           const std::vector<Series>& series, int precision) {
   std::vector<std::string> headers{"label"};

@@ -43,4 +43,9 @@ std::string render_series(const std::vector<std::string>& labels,
                           const std::vector<Series>& series,
                           int precision = 3);
 
+// Render a 0..1 fraction as a fixed-width ASCII meter with a trailing
+// percentage, e.g. "[######....]  62%". Used by the link-utilization
+// tables of the contention benches; clamps out-of-range input.
+std::string render_meter(double frac, int width = 10);
+
 }  // namespace dsm

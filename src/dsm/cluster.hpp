@@ -239,15 +239,21 @@ class DsmSystem : public MemorySystem {
                                Cycle t);
   // Home-side recall for a read when a third node owns the block.
   Cycle home_recall_shared(NodeId home, NodeId requester, Addr blk, Cycle t);
+  // Shared recall choreography: deliver the INVAL order to the
+  // exclusive owner, pull the data off its bus, and return the time the
+  // owner's reply (writeback if it held dirty data, ack otherwise)
+  // reaches home. `invalidate` selects invalidate vs. downgrade-to-
+  // shared at the owner.
+  Cycle recall_from_owner(NodeId home, NodeId owner, Addr blk,
+                          bool invalidate, Cycle t);
 
   // ---- node-level helpers ---------------------------------------------------
   // Invalidate/downgrade every copy of `blk` at node `n` (L1s + BC/PC).
-  // Marks node history with `reason` when invalidating.
-  void flush_block_at_node(NodeId n, Addr blk, bool invalidate,
+  // Marks node history with `reason` when invalidating. Returns whether
+  // the node held a modified copy in any container — the recall paths
+  // use this to decide between a writeback and a plain ack.
+  bool flush_block_at_node(NodeId n, Addr blk, bool invalidate,
                            MissClass reason);
-  // Does node `n` hold a modified copy of `blk` in any container? Decides
-  // whether a recall returns data (writeback) or just an ack.
-  bool node_has_dirty_copy(NodeId n, Addr blk);
   // L1 install with victim writeback handling.
   void l1_install(const MemAccess& a, Addr blk, L1State st);
   // BC install with victim eviction (writeback + hint + L1 inclusion).

@@ -128,25 +128,7 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
       done = std::max(done, ack);
     }
   } else if (e.state == DirState::kExclusive && e.owner != requester) {
-    const NodeId o = e.owner;
-    Cycle ts = (o == home)
-                   ? t
-                   : net_->send(
-                         Message::control(MsgKind::kInval, home, o, blk), t);
-    const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
-    ts = device_[o].reserve(ts, occ) + occ;
-    // Grab the (possibly dirty) data off the owner's bus.
-    ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
-         cfg_.timing.bus_arb + cfg_.timing.bus_data;
-    // A clean-exclusive owner just acks; only dirty data travels home.
-    const bool dirty = node_has_dirty_copy(o, blk);
-    flush_block_at_node(o, blk, /*invalidate=*/true, MissClass::kCoherence);
-    done = (o == home)
-               ? ts
-               : net_->send(
-                     dirty ? Message::writeback(o, home, blk)
-                           : Message::control(MsgKind::kAck, o, home, blk),
-                     ts);
+    done = recall_from_owner(home, e.owner, blk, /*invalidate=*/true, t);
   }
   return done;
 }
@@ -155,23 +137,30 @@ Cycle DsmSystem::home_recall_shared(NodeId home, NodeId requester, Addr blk,
                                     Cycle t) {
   DirEntry& e = dir_.entry(blk);
   DSM_ASSERT(e.state == DirState::kExclusive && e.owner != requester);
-  const NodeId o = e.owner;
+  // Owner keeps a clean shared copy (downgrade, not invalidate).
+  return recall_from_owner(home, e.owner, blk, /*invalidate=*/false, t);
+}
+
+Cycle DsmSystem::recall_from_owner(NodeId home, NodeId owner, Addr blk,
+                                   bool invalidate, Cycle t) {
   Cycle ts =
-      (o == home)
+      (owner == home)
           ? t
-          : net_->send(Message::control(MsgKind::kInval, home, o, blk), t);
+          : net_->send(Message::control(MsgKind::kInval, home, owner, blk), t);
   const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
-  ts = device_[o].reserve(ts, occ) + occ;
-  ts = bus_[o].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
+  ts = device_[owner].reserve(ts, occ) + occ;
+  // Grab the (possibly dirty) data off the owner's bus.
+  ts = bus_[owner].reserve(ts, cfg_.timing.bus_arb + cfg_.timing.bus_data) +
        cfg_.timing.bus_arb + cfg_.timing.bus_data;
-  // Owner keeps a clean shared copy; dirty data returns home, a clean
-  // owner only acknowledges the downgrade.
-  const bool dirty = node_has_dirty_copy(o, blk);
-  flush_block_at_node(o, blk, /*invalidate=*/false, MissClass::kCoherence);
-  return (o == home)
+  // Only dirty data travels home; a clean owner just acknowledges the
+  // invalidation/downgrade. The flush walk itself reports dirtiness.
+  const bool dirty =
+      flush_block_at_node(owner, blk, invalidate, MissClass::kCoherence);
+  return (owner == home)
              ? ts
-             : net_->send(dirty ? Message::writeback(o, home, blk)
-                                : Message::control(MsgKind::kAck, o, home, blk),
+             : net_->send(dirty ? Message::writeback(owner, home, blk)
+                                : Message::control(MsgKind::kAck, owner, home,
+                                                   blk),
                           ts);
 }
 

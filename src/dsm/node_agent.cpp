@@ -305,16 +305,20 @@ Cycle DsmSystem::access_replica(const MemAccess& a, PageInfo& pi, Addr blk,
 // Node-level helpers
 // ---------------------------------------------------------------------------
 
-void DsmSystem::flush_block_at_node(NodeId n, Addr blk, bool invalidate,
+bool DsmSystem::flush_block_at_node(NodeId n, Addr blk, bool invalidate,
                                     MissClass reason) {
+  bool dirty = false;
   const CpuId first = n * cfg_.cpus_per_node;
   for (CpuId c = first; c < first + cfg_.cpus_per_node; ++c) {
+    if (const L1Cache::Line* ln = l1_[c]->probe(blk))
+      dirty = dirty || l1_dirty(ln->state);
     if (invalidate)
       l1_[c]->invalidate(blk, reason);
     else
       l1_[c]->downgrade_to_shared(blk);
   }
   if (BlockCache::Entry* be = bc_[n]->probe(blk)) {
+    dirty = dirty || be->state == NodeState::kModified;
     if (invalidate) {
       bc_[n]->invalidate(blk);
       history_[n].mark(blk, reason);
@@ -326,6 +330,7 @@ void DsmSystem::flush_block_at_node(NodeId n, Addr blk, bool invalidate,
   if (PageCache::Frame* f = pc_[n]->find(page)) {
     const unsigned bix = block_index_in_page(blk << kBlockBits);
     if (f->has(bix)) {
+      dirty = dirty || f->tag[bix] == NodeState::kModified;
       if (invalidate) {
         f->tag[bix] = NodeState::kInvalid;
         f->valid_blocks--;
@@ -335,21 +340,7 @@ void DsmSystem::flush_block_at_node(NodeId n, Addr blk, bool invalidate,
       }
     }
   }
-}
-
-bool DsmSystem::node_has_dirty_copy(NodeId n, Addr blk) {
-  const CpuId first = n * cfg_.cpus_per_node;
-  for (CpuId c = first; c < first + cfg_.cpus_per_node; ++c)
-    if (const L1Cache::Line* ln = l1_[c]->probe(blk))
-      if (l1_dirty(ln->state)) return true;
-  if (const BlockCache::Entry* be = bc_[n]->probe(blk))
-    if (be->state == NodeState::kModified) return true;
-  const Addr page = page_of(blk << kBlockBits);
-  if (const PageCache::Frame* f = pc_[n]->find(page)) {
-    const unsigned bix = block_index_in_page(blk << kBlockBits);
-    if (f->has(bix) && f->tag[bix] == NodeState::kModified) return true;
-  }
-  return false;
+  return dirty;
 }
 
 void DsmSystem::l1_install(const MemAccess& a, Addr blk, L1State st) {

@@ -22,6 +22,17 @@ const char* to_string(MsgKind k) {
   return "?";
 }
 
+const char* to_string(LinkDir d) {
+  switch (d) {
+    case LinkDir::kEast: return "E";
+    case LinkDir::kWest: return "W";
+    case LinkDir::kSouth: return "S";
+    case LinkDir::kNorth: return "N";
+    case LinkDir::kCount: break;
+  }
+  return "?";
+}
+
 void Fabric::account(const Message& m) {
   DSM_DEBUG_ASSERT(m.src != m.dst, "fabric message to self");
   DSM_DEBUG_ASSERT(m.src < nodes() && m.dst < nodes());
@@ -36,7 +47,7 @@ Cycle Fabric::send(const Message& m, Cycle ready) {
   account(m);
   const Cycle socc = occupancy(m, timing_->ni_send);
   const Cycle depart = send_[m.src].reserve(ready, socc) + socc;
-  const Cycle at_dest = depart + latency(m.src, m.dst);
+  const Cycle at_dest = traverse(m, depart);
   const Cycle rocc = occupancy(m, timing_->ni_recv);
   return recv_[m.dst].reserve(at_dest, rocc) + rocc;
 }
@@ -45,13 +56,21 @@ void Fabric::post(const Message& m, Cycle ready) {
   account(m);
   const Cycle socc = occupancy(m, timing_->ni_send);
   send_[m.src].occupy(ready, socc);
-  recv_[m.dst].occupy(ready + socc + latency(m.src, m.dst),
+  recv_[m.dst].occupy(traverse(m, ready + socc),
                       occupancy(m, timing_->ni_recv));
 }
 
+// ---------------------------------------------------------------------------
+// MeshFabric / TorusFabric
+// ---------------------------------------------------------------------------
+
 MeshFabric::MeshFabric(std::uint32_t nodes, const TimingConfig& t,
                        Stats* stats, std::uint32_t width)
-    : Fabric(nodes, t, stats), width_(width) {
+    : MeshFabric(nodes, t, stats, width, /*wrap=*/false) {}
+
+MeshFabric::MeshFabric(std::uint32_t nodes, const TimingConfig& t,
+                       Stats* stats, std::uint32_t width, bool wrap)
+    : Fabric(nodes, t, stats), width_(width), wrap_(wrap) {
   DSM_ASSERT(nodes > 0);
   if (width_ == 0) {
     // Most square factorization: largest divisor <= sqrt(nodes) gives
@@ -62,6 +81,115 @@ MeshFabric::MeshFabric(std::uint32_t nodes, const TimingConfig& t,
     width_ = nodes / best;
   }
   DSM_ASSERT(width_ >= 1 && width_ <= nodes);
+  height_ = (nodes + width_ - 1) / width_;
+  // A fully populated grid is required: a ragged last row would give
+  // the torus wrap links nonexistent endpoints and would route link
+  // traffic through phantom routers no NodeStats entry can own,
+  // silently breaking the per-node/per-link byte reconciliation. The
+  // auto-width factorization always satisfies this; explicit widths
+  // must divide the node count.
+  DSM_ASSERT(width_ * height_ == nodes,
+             "mesh/torus requires nodes == width x height");
+  links_.resize(std::size_t(routers()) * std::size_t(LinkDir::kCount));
+}
+
+std::uint32_t MeshFabric::neighbor(std::uint32_t router, LinkDir d) const {
+  std::uint32_t x = router % width_;
+  std::uint32_t y = router / width_;
+  switch (d) {
+    case LinkDir::kEast:
+      if (x + 1 < width_) return router + 1;
+      return wrap_ ? router + 1 - width_ : kNoRouter;
+    case LinkDir::kWest:
+      if (x > 0) return router - 1;
+      return wrap_ ? router + width_ - 1 : kNoRouter;
+    case LinkDir::kSouth:
+      if (y + 1 < height_) return router + width_;
+      return wrap_ ? x : kNoRouter;
+    case LinkDir::kNorth:
+      if (y > 0) return router - width_;
+      return wrap_ ? (height_ - 1) * width_ + x : kNoRouter;
+    case LinkDir::kCount: break;
+  }
+  return kNoRouter;
+}
+
+LinkDir MeshFabric::step_dir(std::uint32_t cur, std::uint32_t dst,
+                             std::uint32_t size, bool x_dim) const {
+  bool forward;  // east / south
+  if (!wrap_) {
+    forward = dst > cur;
+  } else {
+    const std::uint32_t fwd = (dst + size - cur) % size;
+    forward = fwd <= size - fwd;  // ties go east/south
+  }
+  if (x_dim) return forward ? LinkDir::kEast : LinkDir::kWest;
+  return forward ? LinkDir::kSouth : LinkDir::kNorth;
+}
+
+Cycle MeshFabric::link_occupancy(const Message& m) const {
+  const std::uint32_t bw = timing().mesh_link_bytes_per_cycle;
+  return std::max<Cycle>(1, (m.total_bytes() + bw - 1) / bw);
+}
+
+Cycle MeshFabric::cross(std::uint32_t router, LinkDir d, const Message& m,
+                        Cycle occ, Cycle t) {
+  MeshLink& l = links_[router * std::uint32_t(LinkDir::kCount) +
+                       std::uint32_t(d)];
+  while (!l.inflight.empty() && l.inflight.front() <= t) l.inflight.pop_front();
+  const Cycle start = l.res.reserve(t, occ);
+  l.inflight.push_back(start + occ);
+  l.max_queue_depth =
+      std::max(l.max_queue_depth, std::uint32_t(l.inflight.size()));
+  l.msgs++;
+  l.bytes += m.total_bytes();
+  if (stats() && router < stats()->node.size()) {
+    NodeStats& ns = stats()->node[router];
+    ns.link_bytes += m.total_bytes();
+    ns.link_busy += occ;
+    ns.link_max_queue_depth =
+        std::max(ns.link_max_queue_depth, l.max_queue_depth);
+  }
+  return start + timing().mesh_hop_latency;
+}
+
+Cycle MeshFabric::traverse(const Message& m, Cycle depart) {
+  if (!link_contention_enabled()) return depart + latency(m.src, m.dst);
+  const Cycle occ = link_occupancy(m);
+  std::uint32_t x = m.src % width_, y = m.src / width_;
+  const std::uint32_t xd = m.dst % width_, yd = m.dst / width_;
+  Cycle t = depart;
+  while (x != xd || y != yd) {
+    const LinkDir d = (x != xd) ? step_dir(x, xd, width_, /*x_dim=*/true)
+                                : step_dir(y, yd, height_, /*x_dim=*/false);
+    t = cross(y * width_ + x, d, m, occ, t);
+    const std::uint32_t next = neighbor(y * width_ + x, d);
+    DSM_DEBUG_ASSERT(next != kNoRouter, "route fell off the mesh");
+    x = next % width_;
+    y = next / width_;
+  }
+  return t;
+}
+
+std::uint64_t MeshFabric::link_bytes_total() const {
+  std::uint64_t sum = 0;
+  for (const MeshLink& l : links_) sum += l.bytes;
+  return sum;
+}
+
+std::uint32_t MeshFabric::max_link_queue_depth() const {
+  std::uint32_t depth = 0;
+  for (const MeshLink& l : links_) depth = std::max(depth, l.max_queue_depth);
+  return depth;
+}
+
+std::uint32_t MeshFabric::max_queue_depth_into(std::uint32_t router) const {
+  std::uint32_t depth = 0;
+  for (std::uint32_t r = 0; r < routers(); ++r)
+    for (std::uint32_t d = 0; d < std::uint32_t(LinkDir::kCount); ++d)
+      if (neighbor(r, LinkDir(d)) == router)
+        depth = std::max(depth, out_link(r, LinkDir(d)).max_queue_depth);
+  return depth;
 }
 
 std::unique_ptr<Fabric> make_fabric(const SystemConfig& cfg, Stats* stats) {
@@ -71,6 +199,9 @@ std::unique_ptr<Fabric> make_fabric(const SystemConfig& cfg, Stats* stats) {
     case FabricKind::kMesh2d:
       return std::make_unique<MeshFabric>(cfg.nodes, cfg.timing, stats,
                                           cfg.mesh_width);
+    case FabricKind::kTorus2d:
+      return std::make_unique<TorusFabric>(cfg.nodes, cfg.timing, stats,
+                                           cfg.mesh_width);
   }
   DSM_ASSERT(false, "unknown fabric kind");
   return nullptr;

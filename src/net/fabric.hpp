@@ -5,26 +5,41 @@
 // FIFO busy-until resource with per-message occupancy) and the byte
 // accounting: every message handed to send()/post() is charged, whole,
 // to its traffic class at the *sending* node's Stats. Backends differ
-// only in the wire latency function:
+// in the wire-traversal function:
 //
-//   NiFabric    the paper's model — "a point-to-point network with a
-//               constant latency of 80 cycles but model contention at
-//               the network interfaces accurately".
-//   MeshFabric  a 2D mesh: wire latency = Manhattan hop count x
-//               per-hop latency, so the Fig 7 network-latency
-//               sensitivity can be driven by real structure (node
-//               placement) instead of a scalar knob.
+//   NiFabric     the paper's model — "a point-to-point network with a
+//                constant latency of 80 cycles but model contention at
+//                the network interfaces accurately".
+//   MeshFabric   a 2D mesh with X-Y (dimension-order) routing. Wire
+//                latency = Manhattan hop count x per-hop latency, and —
+//                when mesh_link_bytes_per_cycle > 0 — every directed
+//                link along the route is a FIFO busy-until resource the
+//                message serializes through, so dense traffic queues
+//                *inside* the network, not just at the edge NIs.
+//   TorusFabric  the same router core with wraparound links; each
+//                dimension routes in whichever direction is shorter.
 //
 // Timing contract (identical to the original Network for NiFabric):
 //   depart = reserve(send NI of src, ready, occ) + occ
-//   arrive = reserve(recv NI of dst, depart + latency(src,dst), occ')
-//            + occ'
+//   arrive = reserve(recv NI of dst, traverse(depart), occ') + occ'
 // where occ scales with the payload (bulk page copies occupy the NIs
 // proportionally: ni_send x max(1, blocks/4)).
+//
+// Link-resource model (mesh/torus with link contention enabled): a
+// message crossing a link reserves it FIFO for its serialization time,
+//   link_occ = ceil(total_bytes / mesh_link_bytes_per_cycle),
+// while the message *head* advances one mesh_hop_latency per hop (a
+// wormhole-style approximation: the head's unloaded latency equals the
+// pure hop-latency model; the tail's occupancy is what later messages
+// queue behind). Per-link byte totals therefore count each traversal —
+// a message crossing h links adds h x total_bytes of link occupancy —
+// whereas the per-class TrafficBreakdown charges each message exactly
+// once at its sender. Contention changes latency, never bytes.
 #pragma once
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -47,12 +62,14 @@ class Fabric {
   Cycle send(const Message& m, Cycle ready);
 
   // Off-critical-path traffic (writebacks, replacement hints): occupies
-  // the NIs and is accounted, but the caller does not wait.
+  // the NIs (and any links en route) and is accounted, but the caller
+  // does not wait.
   void post(const Message& m, Cycle ready);
 
   virtual const char* name() const = 0;
 
-  // Wire latency between two distinct nodes, excluding NI occupancies.
+  // Unloaded wire latency between two distinct nodes, excluding NI
+  // occupancies and any link queueing.
   virtual Cycle latency(NodeId from, NodeId to) const = 0;
 
   // --- introspection ------------------------------------------------------
@@ -65,6 +82,16 @@ class Fabric {
   const Resource& send_ni(NodeId n) const { return send_[n]; }
   const Resource& recv_ni(NodeId n) const { return recv_[n]; }
   const TimingConfig& timing() const { return *timing_; }
+
+ protected:
+  // Wire traversal: time the message head reaches the destination NI,
+  // given it left the source NI at `depart`. The base implementation is
+  // the unloaded latency; topology backends may queue on internal links.
+  virtual Cycle traverse(const Message& m, Cycle depart) {
+    return depart + latency(m.src, m.dst);
+  }
+
+  Stats* stats() const { return stats_; }
 
  private:
   // NI occupancy for a message: one slot for anything up to a block,
@@ -93,11 +120,32 @@ class NiFabric final : public Fabric {
   }
 };
 
-// 2D mesh with X-Y routing: wire latency is the Manhattan distance
-// between the endpoints' grid positions times the per-hop latency.
-class MeshFabric final : public Fabric {
+// Outgoing-link direction at a router.
+enum class LinkDir : std::uint8_t { kEast = 0, kWest, kSouth, kNorth, kCount };
+
+const char* to_string(LinkDir d);
+
+// One directed mesh/torus link: a FIFO busy-until channel plus the
+// occupancy statistics the contention study reports.
+struct MeshLink {
+  Resource res;
+  std::deque<Cycle> inflight;  // finish times of messages holding/awaiting
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;          // sum of total_bytes per traversal
+  std::uint32_t max_queue_depth = 0;  // peak inflight count, self included
+};
+
+// 2D mesh with X-Y (dimension-order) routing. Wire latency is the
+// Manhattan distance between the endpoints' grid positions times the
+// per-hop latency; with mesh_link_bytes_per_cycle > 0 each directed
+// link along the route is additionally a contended channel (see the
+// link-resource model above).
+class MeshFabric : public Fabric {
  public:
-  // width = 0 picks the most square factorization of `nodes`.
+  static constexpr std::uint32_t kNoRouter = ~std::uint32_t(0);
+
+  // width = 0 picks the most square factorization of `nodes`; an
+  // explicit width must divide `nodes` (full grid, no ragged last row).
   MeshFabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats,
              std::uint32_t width = 0);
 
@@ -107,15 +155,69 @@ class MeshFabric final : public Fabric {
   }
 
   unsigned hops(NodeId from, NodeId to) const {
-    const int dx = int(from % width_) - int(to % width_);
-    const int dy = int(from / width_) - int(to / width_);
-    return unsigned(std::abs(dx) + std::abs(dy));
+    return dim_hops(from % width_, to % width_, width_) +
+           dim_hops(from / width_, to / width_, height_);
   }
   std::uint32_t width() const { return width_; }
-  std::uint32_t height() const { return (nodes() + width_ - 1) / width_; }
+  std::uint32_t height() const { return height_; }
+
+  bool link_contention_enabled() const {
+    return timing().mesh_link_bytes_per_cycle > 0;
+  }
+
+  // --- link introspection (routers = grid positions; router id ==
+  // node id wherever a node exists) ---------------------------------------
+  std::uint32_t routers() const { return width_ * height_; }
+  const MeshLink& out_link(std::uint32_t router, LinkDir d) const {
+    return links_[router * std::uint32_t(LinkDir::kCount) +
+                  std::uint32_t(d)];
+  }
+  // Neighbor router in direction `d`, kNoRouter past a mesh edge
+  // (torus wraps).
+  std::uint32_t neighbor(std::uint32_t router, LinkDir d) const;
+
+  std::uint64_t link_bytes_total() const;
+  std::uint32_t max_link_queue_depth() const;
+  // Peak queue depth over the fan-in links delivering *into* `router`
+  // (the congestion the hot-home sweep measures).
+  std::uint32_t max_queue_depth_into(std::uint32_t router) const;
+
+ protected:
+  MeshFabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats,
+             std::uint32_t width, bool wrap);
+
+  Cycle traverse(const Message& m, Cycle depart) override;
 
  private:
+  // Serialization occupancy of one link for this message.
+  Cycle link_occupancy(const Message& m) const;
+  // Reserve the outgoing link of `router` toward `d` no earlier than
+  // `t`; returns the time the message head reaches the next router.
+  Cycle cross(std::uint32_t router, LinkDir d, const Message& m, Cycle occ,
+              Cycle t);
+  unsigned dim_hops(std::uint32_t a, std::uint32_t b,
+                    std::uint32_t size) const {
+    const unsigned d = unsigned(a > b ? a - b : b - a);
+    return wrap_ ? std::min(d, unsigned(size) - d) : d;
+  }
+  // Next-step direction along dimension-order routing (X fully first).
+  LinkDir step_dir(std::uint32_t cur, std::uint32_t dst,
+                   std::uint32_t size, bool x_dim) const;
+
   std::uint32_t width_;
+  std::uint32_t height_;
+  bool wrap_;
+  std::vector<MeshLink> links_;  // routers() x 4, indexed router*4 + dir
+};
+
+// 2D torus: the mesh router core with wraparound links; each dimension
+// routes in whichever direction is shorter (ties go east/south).
+class TorusFabric final : public MeshFabric {
+ public:
+  TorusFabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats,
+              std::uint32_t width = 0)
+      : MeshFabric(nodes, t, stats, width, /*wrap=*/true) {}
+  const char* name() const override { return "torus-2d"; }
 };
 
 // Build the fabric selected by cfg.fabric.

@@ -140,6 +140,102 @@ TEST(MeshFabric, NiContentionStillSerializes) {
 }
 
 // --------------------------------------------------------------------------
+// Link-level router contention
+// --------------------------------------------------------------------------
+
+TEST(MeshLinkContention, SharedLinkSerializesDisjointRoutesDoNot) {
+  TimingConfig t;  // link contention on by default (4 B/cycle)
+  ASSERT_GT(t.mesh_link_bytes_per_cycle, 0u);
+  MeshFabric mesh(8, t, nullptr);  // 4x2
+
+  // A full-page bulk 0 -> 2 seizes links 0->1 and 1->2 for its
+  // serialization time.
+  mesh.post(Message::page_bulk(0, 2, 0, kBlocksPerPage), 0);
+  const Cycle bulk_socc = t.ni_send * (kBlocksPerPage / 4);
+  const Cycle link_occ =
+      (kMsgHeaderBytes + kPageBytes + t.mesh_link_bytes_per_cycle - 1) /
+      t.mesh_link_bytes_per_cycle;
+
+  // A control message crossing the shared link 1->2 queues behind the
+  // bulk's occupancy...
+  const Cycle contended = mesh.send(ctrl(MsgKind::kGetS, 1, 2), 0);
+  EXPECT_EQ(contended, bulk_socc + t.mesh_hop_latency + link_occ +
+                           t.mesh_hop_latency + t.ni_recv);
+
+  // ...while a same-shape message on a disjoint route (bottom row) is
+  // completely unaffected.
+  const Cycle disjoint = mesh.send(ctrl(MsgKind::kGetS, 4, 5), 0);
+  EXPECT_EQ(disjoint, t.ni_send + t.mesh_hop_latency + t.ni_recv);
+  EXPECT_GT(contended, disjoint);
+
+  // The shared link saw both messages queued at once.
+  EXPECT_EQ(mesh.out_link(1, LinkDir::kEast).max_queue_depth, 2u);
+  EXPECT_EQ(mesh.out_link(4, LinkDir::kEast).max_queue_depth, 1u);
+}
+
+TEST(MeshLinkContention, ZeroBandwidthDisablesLinkModel) {
+  TimingConfig t;
+  t.mesh_link_bytes_per_cycle = 0;  // NI-only wire model
+  MeshFabric mesh(8, t, nullptr);
+  mesh.post(Message::page_bulk(0, 2, 0, kBlocksPerPage), 0);
+  const Cycle done = mesh.send(ctrl(MsgKind::kGetS, 1, 2), 0);
+  // With the link model off the queueing happens at the *edge*: the
+  // control message rides an uncontended wire (pure hop latency) and
+  // only waits for the bulk's occupancy of the shared receive NI.
+  const Cycle bulk_socc = t.ni_send * (kBlocksPerPage / 4);
+  const Cycle bulk_rocc = t.ni_recv * (kBlocksPerPage / 4);
+  const Cycle bulk_at_recv = bulk_socc + 2 * t.mesh_hop_latency;
+  EXPECT_EQ(done, bulk_at_recv + bulk_rocc + t.ni_recv);
+  // And there is no link state at all.
+  EXPECT_EQ(mesh.link_bytes_total(), 0u);
+  EXPECT_EQ(mesh.max_link_queue_depth(), 0u);
+}
+
+TEST(MeshLinkContention, LinkBytesCountEveryTraversal) {
+  TimingConfig t;
+  Stats stats(8);
+  MeshFabric mesh(8, t, &stats);  // 4x2
+  const Message near = ctrl(MsgKind::kGetS, 0, 1);   // 1 hop
+  const Message far = Message::data(0, 7, 9);        // 4 hops
+  mesh.send(near, 0);
+  mesh.send(far, 100000);
+
+  // TrafficBreakdown charges each message once, at its sender...
+  EXPECT_EQ(stats.traffic_total().total_bytes(), mesh.bytes());
+  EXPECT_EQ(stats.node[0].traffic.total_bytes(),
+            near.total_bytes() + far.total_bytes());
+  // ...while link bytes count each link crossed.
+  EXPECT_EQ(mesh.link_bytes_total(),
+            1 * std::uint64_t(near.total_bytes()) +
+                4 * std::uint64_t(far.total_bytes()));
+  // The per-node aggregates surfaced into NodeStats reconcile with the
+  // fabric's own per-link totals.
+  std::uint64_t node_sum = 0;
+  for (const NodeStats& n : stats.node) node_sum += n.link_bytes;
+  EXPECT_EQ(node_sum, mesh.link_bytes_total());
+}
+
+TEST(TorusFabric, WraparoundPicksTheShorterDirection) {
+  TimingConfig t;
+  TorusFabric torus(8, t, nullptr);  // 4x2 with wrap links
+  MeshFabric mesh(8, t, nullptr);
+  // Across the row: 3 mesh hops, but 1 torus hop going west off the edge.
+  EXPECT_EQ(mesh.hops(0, 3), 3u);
+  EXPECT_EQ(torus.hops(0, 3), 1u);
+  // Corner to corner: wrap in x (1) + one row (1).
+  EXPECT_EQ(mesh.hops(0, 7), 4u);
+  EXPECT_EQ(torus.hops(0, 7), 2u);
+  // The shorter route is what the wire actually does, links included.
+  const Cycle wrapped = torus.send(ctrl(MsgKind::kGetS, 0, 3), 1000) - 1000;
+  EXPECT_EQ(wrapped, t.ni_send + 1 * t.mesh_hop_latency + t.ni_recv);
+  // The wrap link is the west out-link of the row's first column.
+  EXPECT_EQ(torus.neighbor(0, LinkDir::kWest), 3u);
+  EXPECT_EQ(torus.out_link(0, LinkDir::kWest).msgs, 1u);
+  // A mesh edge has no wrap neighbor.
+  EXPECT_EQ(mesh.neighbor(0, LinkDir::kWest), MeshFabric::kNoRouter);
+}
+
+// --------------------------------------------------------------------------
 // Byte accounting
 // --------------------------------------------------------------------------
 
@@ -225,6 +321,57 @@ TEST_F(FabricSystemTest, MeshBackendRunsTheFullProtocol) {
   go(1, a, false, 50000);
   go(2, a, true, 200000);   // write: invalidation round
   go(1, a, false, 400000);  // coherence refetch
+  sys_->check_coherence();
+  EXPECT_GT(stats_.traffic_total().total_bytes(), 0u);
+}
+
+TEST_F(FabricSystemTest, LinkContentionChangesLatencyNeverBytes) {
+  // The same access script under the NI-only and the link-contention
+  // wire models must produce identical per-class byte accounting:
+  // contention moves queueing into the fabric, it never invents or
+  // drops traffic.
+  auto script = [&](Stats* out) {
+    const Addr a = 0x10000, b = 0x50000;
+    go(0, a, false, 0);
+    go(0, b, false, 10000);
+    go(1, a, false, 100000);
+    go(3, b, false, 100000);
+    go(2, a, true, 300000);
+    go(1, a, false, 500000);
+    sys_->replicate_page(page_of(b), 2, 700000);
+    sys_->check_coherence();
+    *out = stats_;
+  };
+
+  Stats ni_only(0), with_links(0);
+  build(SystemKind::kCcNuma, FabricKind::kMesh2d);
+  cfg_.timing.mesh_link_bytes_per_cycle = 0;
+  sys_ = make_system(cfg_, &stats_);
+  script(&ni_only);
+
+  build(SystemKind::kCcNuma, FabricKind::kMesh2d);
+  ASSERT_GT(cfg_.timing.mesh_link_bytes_per_cycle, 0u);
+  script(&with_links);
+
+  for (std::size_t c = 0; c < std::size_t(TrafficClass::kCount); ++c) {
+    EXPECT_EQ(ni_only.traffic_total().bytes[c],
+              with_links.traffic_total().bytes[c]);
+    EXPECT_EQ(ni_only.traffic_total().msgs[c],
+              with_links.traffic_total().msgs[c]);
+  }
+  // Only the link model has link state.
+  EXPECT_EQ(ni_only.link_bytes_total(), 0u);
+  EXPECT_GT(with_links.link_bytes_total(), 0u);
+}
+
+TEST_F(FabricSystemTest, TorusBackendRunsTheFullProtocol) {
+  build(SystemKind::kCcNuma, FabricKind::kTorus2d);
+  EXPECT_STREQ(sys_->fabric().name(), "torus-2d");
+  const Addr a = 0x10000;
+  go(0, a, false, 0);
+  go(1, a, false, 50000);
+  go(2, a, true, 200000);
+  go(1, a, false, 400000);
   sys_->check_coherence();
   EXPECT_GT(stats_.traffic_total().total_bytes(), 0u);
 }
