@@ -27,12 +27,20 @@ struct Options {
   // model); kLinkBwUnset keeps the TimingConfig default.
   std::uint32_t link_bw = kLinkBwUnset;
   std::string json_path;  // --json FILE: machine-readable per-class bytes
+  // Decision-engine override (--policy none|migrep|rnuma|adaptive);
+  // kDefault keeps the paper's SystemKind pairing.
+  PolicyKind policy = PolicyKind::kDefault;
+  // Competitive constant override for the adaptive engine (--adaptive-k
+  // N; 0 keeps the TimingConfig default).
+  std::uint32_t adaptive_k = 0;
 
-  // Apply the fabric selection to one run's system config.
+  // Apply the fabric/policy selection to one run's system config.
   void apply(SystemConfig& sc) const {
     sc.fabric = fabric;
     if (link_bw != kLinkBwUnset)
       sc.timing.mesh_link_bytes_per_cycle = link_bw;
+    sc.policy = policy;
+    if (adaptive_k != 0) sc.timing.adaptive_k = adaptive_k;
   }
   bool routed_fabric() const { return fabric != FabricKind::kNiConstant; }
 };
@@ -72,6 +80,39 @@ inline Options parse(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       o.json_path = argv[++i];
+    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "default") {
+        o.policy = PolicyKind::kDefault;
+      } else if (p == "none") {
+        o.policy = PolicyKind::kNone;
+      } else if (p == "migrep") {
+        o.policy = PolicyKind::kMigRep;
+      } else if (p == "rnuma") {
+        o.policy = PolicyKind::kRNuma;
+      } else if (p == "adaptive") {
+        o.policy = PolicyKind::kAdaptive;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --policy '%s' (expected "
+                     "default|none|migrep|rnuma|adaptive)\n",
+                     p.c_str());
+        std::exit(2);
+      }
+    }
+    if (std::strcmp(argv[i], "--adaptive-k") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v == 0 || v > 1u << 20) {
+        std::fprintf(stderr,
+                     "bad --adaptive-k '%s' (expected a positive "
+                     "competitive constant)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.adaptive_k = std::uint32_t(v);
+    }
     if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
       o.apps.clear();
       std::string list = argv[++i];
@@ -131,6 +172,24 @@ inline NormalizedGrid run_normalized(
   return grid;
 }
 
+// One reporter column: a system/policy name plus an explicit list of
+// that column's per-app results — rows[a] pairs with apps[a]. Replaces
+// the old base-pointer + stride convention, which made every caller
+// encode its result-matrix layout into an offset formula.
+struct ResultColumn {
+  std::string name;
+  std::vector<const RunResult*> rows;  // one per app, app order
+};
+
+// Build a column by picking explicit indices out of a result matrix.
+inline ResultColumn column_of(const std::string& name,
+                              const std::vector<RunResult>& results,
+                              const std::vector<std::size_t>& indices) {
+  ResultColumn c{name, {}};
+  for (std::size_t i : indices) c.rows.push_back(&results.at(i));
+  return c;
+}
+
 // Table-4-style per-node interconnect traffic cell:
 // data / coherence-control / page-op kilobytes.
 inline std::string traffic_cell(const RunResult& r) {
@@ -144,19 +203,15 @@ inline std::string traffic_cell(const RunResult& r) {
 }
 
 // Render a traffic table: one row per app, one column per system.
-// `columns` maps a system name to its per-app results (size = #apps).
-inline void print_traffic_table(
-    const std::vector<std::string>& apps,
-    const std::vector<std::pair<std::string, const RunResult*>>& columns,
-    std::size_t stride) {
+inline void print_traffic_table(const std::vector<std::string>& apps,
+                                const std::vector<ResultColumn>& columns) {
   std::vector<std::string> header = {"app"};
-  for (const auto& [name, results] : columns) header.push_back(name);
+  for (const auto& c : columns) header.push_back(c.name);
   Table t(header);
   for (std::size_t a = 0; a < apps.size(); ++a) {
     auto& row = t.add_row();
     row.cell(apps[a]);
-    for (const auto& [name, results] : columns)
-      row.cell(traffic_cell(results[a * stride]));
+    for (const auto& c : columns) row.cell(traffic_cell(*c.rows.at(a)));
   }
   std::printf(
       "per-node interconnect traffic, data/control/page-op KB:\n%s\n",
@@ -179,18 +234,15 @@ inline std::string link_cell(const RunResult& r) {
 
 // Render the link-contention table (same shape as print_traffic_table);
 // meaningful only for runs on a routed fabric (mesh/torus).
-inline void print_link_table(
-    const std::vector<std::string>& apps,
-    const std::vector<std::pair<std::string, const RunResult*>>& columns,
-    std::size_t stride) {
+inline void print_link_table(const std::vector<std::string>& apps,
+                             const std::vector<ResultColumn>& columns) {
   std::vector<std::string> header = {"app"};
-  for (const auto& [name, results] : columns) header.push_back(name);
+  for (const auto& c : columns) header.push_back(c.name);
   Table t(header);
   for (std::size_t a = 0; a < apps.size(); ++a) {
     auto& row = t.add_row();
     row.cell(apps[a]);
-    for (const auto& [name, results] : columns)
-      row.cell(link_cell(results[a * stride]));
+    for (const auto& c : columns) row.cell(link_cell(*c.rows.at(a)));
   }
   std::printf(
       "link-level contention, peak queue depth / per-node link-occupancy "
@@ -200,11 +252,9 @@ inline void print_link_table(
 
 // Emit the per-app x per-system traffic split as a flat JSON array so
 // CI can archive the bytes-per-class trajectory as a workflow artifact.
-inline void write_traffic_json(
-    const std::string& path, const char* bench,
-    const std::vector<std::string>& apps,
-    const std::vector<std::pair<std::string, const RunResult*>>& columns,
-    std::size_t stride) {
+inline void write_traffic_json(const std::string& path, const char* bench,
+                               const std::vector<std::string>& apps,
+                               const std::vector<ResultColumn>& columns) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -213,21 +263,33 @@ inline void write_traffic_json(
   std::fprintf(f, "[\n");
   bool first = true;
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    for (const auto& [name, results] : columns) {
-      const RunResult& r = results[a * stride];
+    for (const auto& c : columns) {
+      const RunResult& r = *c.rows.at(a);
+      // Attached engines in order ("migrep+rnuma" for composed lists).
+      std::string policy_names;
+      for (const auto& p : r.stats.policy) {
+        if (!policy_names.empty()) policy_names += '+';
+        policy_names += p.name;
+      }
+      if (policy_names.empty()) policy_names = "none";
       std::fprintf(
           f,
           "%s  {\"bench\": \"%s\", \"app\": \"%s\", \"system\": \"%s\",\n"
-          "   \"fabric\": \"%s\", \"cycles\": %llu,\n"
+          "   \"fabric\": \"%s\", \"policy\": \"%s\", \"cycles\": %llu,\n"
           "   \"data_bytes_per_node\": %.1f, \"control_bytes_per_node\": "
           "%.1f, \"pageop_bytes_per_node\": %.1f,\n"
+          "   \"migrations\": %llu, \"replications\": %llu, "
+          "\"relocations\": %llu,\n"
           "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u}",
-          first ? "" : ",\n", bench, apps[a].c_str(), name.c_str(),
-          to_string(r.spec.system.fabric),
+          first ? "" : ",\n", bench, apps[a].c_str(), c.name.c_str(),
+          to_string(r.spec.system.fabric), policy_names.c_str(),
           static_cast<unsigned long long>(r.cycles),
           r.stats.traffic_bytes_per_node(TrafficClass::kData),
           r.stats.traffic_bytes_per_node(TrafficClass::kControl),
           r.stats.traffic_bytes_per_node(TrafficClass::kPageOp),
+          static_cast<unsigned long long>(r.stats.page_migrations_total()),
+          static_cast<unsigned long long>(r.stats.page_replications_total()),
+          static_cast<unsigned long long>(r.stats.page_relocations_total()),
           static_cast<unsigned long long>(r.stats.link_bytes_total()),
           r.stats.link_max_queue_depth());
       first = false;

@@ -72,21 +72,27 @@ int main(int argc, char** argv) {
   }
 
   // Per-class byte traffic at the long latency, per node (the traffic
-  // that the latency sweep is actually pricing).
+  // that the latency sweep is actually pricing). The result matrix is
+  // system-major (baselines first); each column lists its rows.
   std::printf("\n");
-  std::vector<std::pair<std::string, const RunResult*>> columns = {
-      {"perfect", &results[0]}};
+  auto rows_of_system = [&](std::size_t sys_index) {
+    std::vector<std::size_t> rows;
+    for (std::size_t a = 0; a < opt.apps.size(); ++a)
+      rows.push_back(opt.apps.size() * sys_index + a);
+    return rows;
+  };
+  std::vector<ResultColumn> columns = {
+      column_of("perfect", results, rows_of_system(0))};
   for (std::size_t sys = 0; sys < systems.size(); ++sys)
-    columns.emplace_back(systems[sys].first,
-                         &results[opt.apps.size() * (sys + 1)]);
-  print_traffic_table(opt.apps, columns, /*stride=*/1);
+    columns.push_back(
+        column_of(systems[sys].first, results, rows_of_system(sys + 1)));
+  print_traffic_table(opt.apps, columns);
 
   // On a routed fabric the latency sweep also exercises the link-level
   // router contention: show where the queueing went.
-  if (opt.routed_fabric()) print_link_table(opt.apps, columns, /*stride=*/1);
+  if (opt.routed_fabric()) print_link_table(opt.apps, columns);
 
   if (!opt.json_path.empty())
-    write_traffic_json(opt.json_path, "fig7_netlat", opt.apps, columns,
-                       /*stride=*/1);
+    write_traffic_json(opt.json_path, "fig7_netlat", opt.apps, columns);
   return 0;
 }

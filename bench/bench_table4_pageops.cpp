@@ -60,16 +60,23 @@ int main(int argc, char** argv) {
 
   // The paper's headline metric, now in bytes: per-node interconnect
   // traffic split into data / coherence-control / page-op classes.
-  const std::vector<std::pair<std::string, const RunResult*>> columns = {
-      {"CC-NUMA", &results[0]},
-      {"CC-NUMA+MigRep", &results[1]},
-      {"R-NUMA", &results[2]}};
-  print_traffic_table(opt.apps, columns, /*stride=*/3);
+  // The result matrix is app-major with the three kinds interleaved;
+  // each column names its row indices explicitly.
+  std::vector<std::size_t> cc_rows, mr_rows, rn_rows;
+  for (std::size_t a = 0; a < opt.apps.size(); ++a) {
+    cc_rows.push_back(3 * a);
+    mr_rows.push_back(3 * a + 1);
+    rn_rows.push_back(3 * a + 2);
+  }
+  const std::vector<ResultColumn> columns = {
+      column_of("CC-NUMA", results, cc_rows),
+      column_of("CC-NUMA+MigRep", results, mr_rows),
+      column_of("R-NUMA", results, rn_rows)};
+  print_traffic_table(opt.apps, columns);
 
-  if (opt.routed_fabric()) print_link_table(opt.apps, columns, /*stride=*/3);
+  if (opt.routed_fabric()) print_link_table(opt.apps, columns);
 
   if (!opt.json_path.empty())
-    write_traffic_json(opt.json_path, "table4_pageops", opt.apps, columns,
-                       /*stride=*/3);
+    write_traffic_json(opt.json_path, "table4_pageops", opt.apps, columns);
   return 0;
 }

@@ -28,6 +28,17 @@ bool uses_page_cache(SystemKind k) {
          k == SystemKind::kRNumaMigRep;
 }
 
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kDefault: return "default";
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kMigRep: return "migrep";
+    case PolicyKind::kRNuma: return "rnuma";
+    case PolicyKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
 const char* to_string(FabricKind k) {
   switch (k) {
     case FabricKind::kNiConstant: return "ni-constant";

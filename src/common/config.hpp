@@ -37,6 +37,21 @@ bool uses_migrep(SystemKind k);
 // True for systems that include the S-COMA page cache machinery.
 bool uses_page_cache(SystemKind k);
 
+// Which decision engines to attach to the policy-event layer
+// (protocols/policy_engine.hpp). kDefault derives the paper's pairing
+// from SystemKind (MigRep rules for the +Rep/+Mig/+MigRep systems,
+// reactive relocation for the R-NUMA systems); the explicit values
+// override it, so any engine can be studied on any substrate.
+enum class PolicyKind : std::uint8_t {
+  kDefault = 0,  // derive from SystemKind (the paper's pairing)
+  kNone,         // substrate only: no decision engine
+  kMigRep,       // migration + replication rules (Section 3.1)
+  kRNuma,        // reactive relocation (Section 3.2)
+  kAdaptive,     // traffic-competitive adaptive engine (byte-threshold)
+};
+
+const char* to_string(PolicyKind k);
+
 // Interconnect fabric backend (net/fabric.hpp).
 enum class FabricKind : std::uint8_t {
   kNiConstant = 0,  // constant wire latency, NI contention (the paper)
@@ -99,6 +114,21 @@ struct TimingConfig {
   // misses to a page (Section 6.4's "initial preset interval").
   std::uint64_t rnuma_relocation_delay_misses = 0;
 
+  // --- policy-event layer (protocols/policy_engine.hpp) --------------------
+  // The engine emits one kEpochTick event to the policies every this
+  // many absorbed page events (0 disables ticks). Adaptive hysteresis
+  // decays one level per elapsed epoch.
+  std::uint64_t policy_epoch_events = 8192;
+  // Traffic-competitive adaptive policy: a page op fires once a page's
+  // accumulated remote bytes exceed adaptive_k x the modeled page-move
+  // byte cost (the classic competitive threshold; k = 1 is break-even
+  // against a single move, larger k demands more evidence).
+  std::uint32_t adaptive_k = 4;
+  // Ping-pong hysteresis: each op on a page raises its next byte
+  // threshold by another power of two, up to this many doublings; the
+  // penalty decays one level per epoch without an op.
+  std::uint32_t adaptive_hysteresis_max_shift = 6;
+
   // Derived sums for the unloaded latency contract.
   Cycle local_miss_total() const {
     return l1_miss_detect + bus_arb + bus_addr + mem_access + bus_data + fill;
@@ -127,6 +157,9 @@ struct TimingConfig {
 
 struct SystemConfig {
   SystemKind kind = SystemKind::kCcNuma;
+  // Decision-engine selection for the policy-event layer; kDefault
+  // derives the paper's pairing from `kind`.
+  PolicyKind policy = PolicyKind::kDefault;
   TimingConfig timing{};
 
   std::uint32_t nodes = 8;

@@ -22,6 +22,12 @@ const char* to_string(TrafficClass c) {
   }
 }
 
+const PolicyCounters* Stats::policy_counters(const std::string& name) const {
+  for (const auto& p : policy)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
 MissBreakdown Stats::remote_misses_total() const {
   MissBreakdown sum;
   for (const auto& n : node) sum += n.remote_misses;

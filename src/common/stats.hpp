@@ -117,6 +117,19 @@ struct NodeStats {
   std::uint32_t link_max_queue_depth = 0;  // peak FIFO depth, any out-link
 };
 
+// Per-policy decision counters, one record per engine attached to the
+// run's PolicyEngine (protocols/policy_engine.hpp), in attachment
+// order. `events` counts events delivered to the policy; the remaining
+// fields count the decisions it took (or withheld).
+struct PolicyCounters {
+  std::string name;
+  std::uint64_t events = 0;        // events delivered
+  std::uint64_t migrations = 0;    // page migrations this policy ordered
+  std::uint64_t replications = 0;  // page replications it ordered
+  std::uint64_t relocations = 0;   // S-COMA relocations it ordered
+  std::uint64_t suppressed = 0;    // triggers withheld (gates, hysteresis)
+};
+
 struct Stats {
   std::vector<NodeStats> node;           // indexed by NodeId
   Cycle execution_cycles = 0;            // parallel-phase execution time
@@ -126,7 +139,13 @@ struct Stats {
   std::uint64_t barriers = 0;
   std::uint64_t lock_acquires = 0;
 
+  // Per-policy decision counters (see PolicyCounters above).
+  std::vector<PolicyCounters> policy;
+
   explicit Stats(std::uint32_t nodes = 0) : node(nodes) {}
+
+  // Lookup by policy name; null if no such policy ran.
+  const PolicyCounters* policy_counters(const std::string& name) const;
 
   // Aggregates used by the harness.
   MissBreakdown remote_misses_total() const;

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 
+#include "protocols/policy_engine.hpp"
+
 namespace dsm {
 
 const char* to_string(PageMode m) {
@@ -50,24 +52,16 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
   // The block cache is direct-mapped SRAM, as in the remote-cache
   // designs of the period the paper builds on (Moga & Dubois, HPCA'98).
   history_.reserve(cfg.nodes);
-  counter_cache_.reserve(cfg.nodes);
   for (NodeId n = 0; n < cfg.nodes; ++n) {
     bc_.push_back(std::make_unique<BlockCache>(
         cfg.block_cache_bytes, infinite_bc ? 0u : 1u));
     pc_.push_back(std::make_unique<PageCache>(has_pc ? pc_pages : 1));
     history_.emplace_back(cfg.node_history_entries);
-    counter_cache_.emplace_back(cfg.migrep_counter_cache_pages);
   }
+  engine_ = std::make_unique<PolicyEngine>(cfg_, stats_);
 }
 
 DsmSystem::~DsmSystem() = default;
-
-void DsmSystem::set_home_policy(std::unique_ptr<HomePolicy> p) {
-  home_policy_ = std::move(p);
-}
-void DsmSystem::set_cache_policy(std::unique_ptr<CachePolicy> p) {
-  cache_policy_ = std::move(p);
-}
 
 void DsmSystem::parallel_begin(Cycle now) { parallel_begin_at_ = now; }
 void DsmSystem::parallel_end(Cycle now) {

@@ -6,11 +6,14 @@
 //   (R-NUMA), read-only replicas (MigRep), or home memory
 //   cluster-level: full-bit-vector home directory over the network.
 //
-// Policy engines (MigRep, R-NUMA relocation) are attached through the
-// HomePolicy / CachePolicy interfaces and implemented in src/protocols.
-// DsmSystem provides the timed *mechanisms* they invoke: page gathering
-// and flushing, page copying, replication, migration, replica collapse,
-// S-COMA relocation and page-cache eviction.
+// Decision engines (MigRep, R-NUMA relocation, adaptive) are attached
+// to the PolicyEngine (src/protocols/policy_engine.hpp), which absorbs
+// the typed PolicyEvent stream this substrate emits — counted misses,
+// upgrades, remote fetches, evictions, invalidations, replica
+// collapses, page-op completions, each carrying its interconnect byte
+// charge. DsmSystem provides the timed *mechanisms* policies invoke:
+// page gathering and flushing, page copying, replication, migration,
+// replica collapse, S-COMA relocation and page-cache eviction.
 //
 // The implementation is layered across translation units — the access
 // paths and snoop in dsm/node_agent.cpp, the cluster-level directory
@@ -26,9 +29,7 @@
 // calibrated to the paper's Table 3 (local 104 / remote clean 418).
 #pragma once
 
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -47,30 +48,8 @@
 namespace dsm {
 
 class DsmSystem;
-
-// Home-side policy hook (MigRep lives here).
-class HomePolicy {
- public:
-  virtual ~HomePolicy() = default;
-  // Called at the home node each time a miss to `page` is counted
-  // (remote fetch, upgrade, or a local home miss). May schedule a page
-  // migration/replication via the DsmSystem mechanisms.
-  virtual void on_page_miss(Addr page, PageInfo& pi, NodeId requester,
-                            bool is_write, Cycle now) = 0;
-};
-
-// Requester-side policy hook (R-NUMA relocation lives here).
-class CachePolicy {
- public:
-  virtual ~CachePolicy() = default;
-  // Called at node `n` when a remote fetch is about to be issued for a
-  // block of a CC-NUMA-mapped page. `miss_class` is the node-level
-  // classification. Returns the (possibly delayed) time at which the
-  // fetch may proceed; if the policy relocated the page to S-COMA it
-  // returns the relocation end time and sets the page mode.
-  virtual Cycle on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
-                                MissClass miss_class, Cycle now) = 0;
-};
+class PolicyEngine;
+struct PolicyEvent;
 
 // Per-node miss-class history at node (cluster-device) level.
 //
@@ -115,54 +94,6 @@ class NodeHistory {
   std::vector<Entry> table_;
 };
 
-// Finite pool of per-page MigRep miss counters at a home node
-// (Section 6.4: real hardware provides a *cache* of counters, not
-// counters for every page of memory). touch() returns the page whose
-// counters were evicted to make room, if any.
-class CounterCache {
- public:
-  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {}
-
-  bool unlimited() const { return capacity_ == 0; }
-
-  // Returns the evicted page, or kNoPage if none was displaced.
-  // O(1): recency is an intrusive list (front = MRU), the map holds
-  // list iterators, and the victim is always the list tail.
-  static constexpr Addr kNoPage = ~Addr(0);
-  Addr touch(Addr page) {
-    if (unlimited()) return kNoPage;
-    auto it = map_.find(page);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return kNoPage;
-    }
-    lru_.push_front(page);
-    map_.emplace(page, lru_.begin());
-    if (map_.size() <= capacity_) return kNoPage;
-    const Addr evicted = lru_.back();
-    lru_.pop_back();
-    map_.erase(evicted);
-    evictions_++;
-    return evicted;
-  }
-
-  std::uint64_t evictions() const { return evictions_; }
-  std::size_t size() const { return map_.size(); }
-
-  // The recency map holds iterators into lru_: moves keep them valid,
-  // copies would not. The system stores these in vectors sized once.
-  CounterCache(CounterCache&&) = default;
-  CounterCache& operator=(CounterCache&&) = default;
-  CounterCache(const CounterCache&) = delete;
-  CounterCache& operator=(const CounterCache&) = delete;
-
- private:
-  std::uint32_t capacity_;
-  std::uint64_t evictions_ = 0;
-  std::list<Addr> lru_;  // front = most recently touched
-  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
-};
-
 class DsmSystem : public MemorySystem {
  public:
   DsmSystem(const SystemConfig& cfg, Stats* stats);
@@ -173,9 +104,11 @@ class DsmSystem : public MemorySystem {
   void parallel_begin(Cycle now) override;
   void parallel_end(Cycle now) override;
 
-  // ---- policy attachment (done by the protocol factory) -------------------
-  void set_home_policy(std::unique_ptr<HomePolicy> p);
-  void set_cache_policy(std::unique_ptr<CachePolicy> p);
+  // ---- policy-event layer --------------------------------------------------
+  // The engine absorbing this substrate's event stream. The protocol
+  // factory attaches decision policies to it; it exists (and keeps the
+  // observation state) even when no policy is attached.
+  PolicyEngine& policy_engine() { return *engine_; }
 
   // ---- timed page-op mechanisms (called by policies) -----------------------
   // Replicate `page` read-only at `node`; returns op completion time.
@@ -202,7 +135,6 @@ class DsmSystem : public MemorySystem {
   Resource& node_bus(NodeId n) { return bus_[n]; }
   Resource& node_device(NodeId n) { return device_[n]; }
   NodeHistory& node_history(NodeId n) { return history_[n]; }
-  CounterCache& counter_cache(NodeId n) { return counter_cache_[n]; }
 
   std::uint32_t nodes() const { return cfg_.nodes; }
   NodeId node_of_cpu(CpuId c) const { return c / cfg_.cpus_per_node; }
@@ -258,9 +190,11 @@ class DsmSystem : public MemorySystem {
   void l1_install(const MemAccess& a, Addr blk, L1State st);
   // BC install with victim eviction (writeback + hint + L1 inclusion).
   void bc_install(NodeId n, Addr blk, NodeState st, Cycle t);
-  // MigRep/monitoring bookkeeping at home; invokes the home policy.
-  void count_page_miss(Addr page, PageInfo& pi, NodeId requester,
-                       bool is_write, Cycle now);
+  // Emit a counted-miss / upgrade event to the policy engine at the
+  // home. `bytes` is the interconnect charge of the triggering
+  // transaction's request/reply pair (0 for node-local misses).
+  void emit_counted(bool upgrade, Addr page, PageInfo& pi, NodeId requester,
+                    bool is_write, std::uint64_t bytes, Cycle now);
   // Flush all blocks of `page` cached at node `n`; dirty data goes home
   // asynchronously. Returns the number of (node-level) blocks flushed.
   unsigned flush_page_at_node(NodeId n, Addr page, MissClass reason);
@@ -283,10 +217,8 @@ class DsmSystem : public MemorySystem {
   std::vector<Resource> bus_;                      // per node
   std::vector<Resource> device_;                   // per node
   std::vector<NodeHistory> history_;               // per node
-  std::vector<CounterCache> counter_cache_;        // per home node
 
-  std::unique_ptr<HomePolicy> home_policy_;
-  std::unique_ptr<CachePolicy> cache_policy_;
+  std::unique_ptr<PolicyEngine> engine_;
 
   Cycle parallel_begin_at_ = 0;
 };

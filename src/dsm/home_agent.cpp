@@ -14,6 +14,7 @@
 #include <algorithm>
 
 #include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 
 namespace dsm {
 
@@ -31,7 +32,15 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
   const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
   th = device_[home].reserve(th, dir_occ) + dir_occ;
 
-  count_page_miss(page, pi, requester, write, th);
+  // Counted miss at the home: the event carries the transaction's
+  // request + data-reply byte charge (recall/invalidation rounds are
+  // reported as their own kInvalidation events).
+  emit_counted(/*upgrade=*/false, page, pi, requester, write,
+               Message::control(write ? MsgKind::kGetX : MsgKind::kGetS,
+                                requester, home, blk)
+                       .total_bytes() +
+                   Message::data(home, requester, blk).total_bytes(),
+               th);
 
   DirEntry& e = dir_.entry(blk);
   Cycle data_ready;
@@ -126,6 +135,22 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
               ? ts
               : net_->send(Message::control(MsgKind::kAck, s, home, blk), ts);
       done = std::max(done, ack);
+      // Event: `s` lost its copy; charged the inval + ack pair (zero
+      // when the sharer is the home itself — no wire messages).
+      const Addr page = page_of(blk << kBlockBits);
+      PolicyEvent ev;
+      ev.kind = PolicyEventKind::kInvalidation;
+      ev.page = page;
+      ev.blk = blk;
+      ev.node = s;
+      ev.peer = requester;
+      ev.bytes =
+          (s == home)
+              ? 0
+              : Message::control(MsgKind::kInval, home, s, blk).total_bytes() +
+                    Message::control(MsgKind::kAck, s, home, blk).total_bytes();
+      ev.now = ack;
+      engine_->dispatch(ev, &pt_.info(page));
     }
   } else if (e.state == DirState::kExclusive && e.owner != requester) {
     done = recall_from_owner(home, e.owner, blk, /*invalidate=*/true, t);
@@ -156,36 +181,49 @@ Cycle DsmSystem::recall_from_owner(NodeId home, NodeId owner, Addr blk,
   // invalidation/downgrade. The flush walk itself reports dirtiness.
   const bool dirty =
       flush_block_at_node(owner, blk, invalidate, MissClass::kCoherence);
-  return (owner == home)
-             ? ts
-             : net_->send(dirty ? Message::writeback(owner, home, blk)
-                                : Message::control(MsgKind::kAck, owner, home,
-                                                   blk),
-                          ts);
+  const Cycle end =
+      (owner == home)
+          ? ts
+          : net_->send(dirty ? Message::writeback(owner, home, blk)
+                             : Message::control(MsgKind::kAck, owner, home,
+                                                blk),
+                       ts);
+  // Event: the owner's copy was recalled (invalidated or downgraded);
+  // charged the inval order plus the writeback-or-ack reply.
+  const Addr page = page_of(blk << kBlockBits);
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kInvalidation;
+  ev.page = page;
+  ev.blk = blk;
+  ev.node = owner;
+  ev.peer = home;
+  ev.is_write = dirty;
+  ev.bytes =
+      (owner == home)
+          ? 0
+          : Message::control(MsgKind::kInval, home, owner, blk).total_bytes() +
+                (dirty ? Message::writeback(owner, home, blk).total_bytes()
+                       : Message::control(MsgKind::kAck, owner, home, blk)
+                             .total_bytes());
+  ev.now = end;
+  engine_->dispatch(ev, &pt_.info(page));
+  return end;
 }
 
-void DsmSystem::count_page_miss(Addr page, PageInfo& pi, NodeId requester,
-                                bool is_write, Cycle now) {
-  pi.lifetime_misses++;
-
-  // Finite counter hardware (Section 6.4): installing counters for this
-  // page may displace another page's counters at this home.
-  const Addr displaced = counter_cache_[pi.home].touch(page);
-  if (displaced != CounterCache::kNoPage)
-    pt_.info(displaced).reset_migrep_counters();
-
-  if (is_write)
-    pi.write_miss_ctr[requester]++;
-  else
-    pi.read_miss_ctr[requester]++;
-
-  // Periodic reset (Section 3.1): every `migrep_reset_interval` counted
-  // misses to the page, its counters start over, bounding stale history.
-  if (++pi.counted_since_reset >= cfg_.timing.migrep_reset_interval) {
-    pi.counted_since_reset = 0;
-    pi.reset_migrep_counters();
-  }
-  if (home_policy_) home_policy_->on_page_miss(page, pi, requester, is_write, now);
+void DsmSystem::emit_counted(bool upgrade, Addr page, PageInfo& pi,
+                             NodeId requester, bool is_write,
+                             std::uint64_t bytes, Cycle now) {
+  PolicyEvent ev;
+  ev.kind = upgrade ? PolicyEventKind::kUpgrade : PolicyEventKind::kMiss;
+  ev.page = page;
+  ev.node = requester;
+  ev.peer = pi.home;
+  ev.is_write = is_write;
+  ev.bytes = bytes;
+  ev.now = now;
+  // Home-side decisions never delay the triggering access (page-op
+  // stalls surface through PageInfo::op_pending_until instead).
+  engine_->dispatch(ev, &pi);
 }
 
 }  // namespace dsm

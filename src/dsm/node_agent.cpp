@@ -9,8 +9,20 @@
 #include <algorithm>
 
 #include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 
 namespace dsm {
+
+namespace {
+// Byte charge of an UPGRADE/ACK round trip between requester and home
+// (zero when the requester is the home: no wire messages exist).
+std::uint64_t upgrade_bytes(NodeId requester, NodeId home, Addr blk) {
+  if (requester == home) return 0;
+  return Message::control(MsgKind::kUpgrade, requester, home, blk)
+             .total_bytes() +
+         Message::control(MsgKind::kAck, home, requester, blk).total_bytes();
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // L1 hit / upgrade
@@ -35,7 +47,17 @@ Cycle DsmSystem::access_hit_or_upgrade(const MemAccess& a, PageInfo& pi,
       e.state == DirState::kExclusive && e.owner == a.node;
   if (!node_exclusive) {
     t = remote_upgrade(a.node, page_of(a.addr), blk, t);
-    count_page_miss(page_of(a.addr), pi, a.node, /*is_write=*/true, t);
+    emit_counted(/*upgrade=*/true, page_of(a.addr), pi, a.node,
+                 /*is_write=*/true, upgrade_bytes(a.node, pi.home, blk), t);
+    if (l1_[a.cpu]->probe(blk) == nullptr) {
+      // A policy fired a page op off this event and its gather flushed
+      // our own copies: the mapping changed under the access. Restart
+      // against the new mapping (the poison-bit fault-and-retry the
+      // page-op machinery models; the op window stalls the retry).
+      MemAccess retry = a;
+      retry.start = t;
+      return access(retry);
+    }
   }
   // Invalidate peer L1 copies on this node.
   for (CpuId c = a.node * cfg_.cpus_per_node;
@@ -111,7 +133,8 @@ Cycle DsmSystem::access_local(const MemAccess& a, PageInfo& pi, Addr blk,
   const NodeId home = a.node;
 
   // Count the home's own misses so migration can compare usage.
-  count_page_miss(page_of(a.addr), pi, home, a.write, t);
+  emit_counted(/*upgrade=*/false, page_of(a.addr), pi, home, a.write,
+               /*bytes=*/0, t);
 
   if (a.write) {
     if ((e.state == DirState::kShared && e.sharers != (1u << home)) ||
@@ -185,7 +208,16 @@ Cycle DsmSystem::access_remote_ccnuma(const MemAccess& a, PageInfo& pi,
     }
     // Write to a node-shared block: upgrade at home.
     t = remote_upgrade(a.node, page, blk, t);
-    count_page_miss(page, pi, a.node, /*is_write=*/true, t);
+    emit_counted(/*upgrade=*/true, page, pi, a.node, /*is_write=*/true,
+                 upgrade_bytes(a.node, pi.home, blk), t);
+    // Re-probe: a policy page op may have flushed this node's copies
+    // (and remapped the page) while the event dispatched.
+    be = bc.probe(blk);
+    if (be == nullptr) {
+      MemAccess retry = a;
+      retry.start = t;
+      return access(retry);
+    }
     record_remote_miss(a.node, MissClass::kCoherence);
     be->state = NodeState::kModified;
     bc.touch(blk);
@@ -195,13 +227,22 @@ Cycle DsmSystem::access_remote_ccnuma(const MemAccess& a, PageInfo& pi,
     return t;
   }
 
-  // Block-cache miss: remote fetch required.
+  // Block-cache miss: remote fetch required. The event reaches the
+  // requester-side policies (R-NUMA relocation, adaptive) before the
+  // fetch leaves the node; a policy may relocate the page to S-COMA
+  // and/or delay the fetch by returning a later cycle.
   const MissClass node_class = history_[a.node].classify(blk);
-
-  // R-NUMA hook: the refetch counter may trigger relocation to S-COMA.
-  if (cache_policy_) {
-    const Cycle t2 = cache_policy_->on_remote_fetch(a.node, page, pi,
-                                                    node_class, t);
+  {
+    PolicyEvent ev;
+    ev.kind = PolicyEventKind::kRemoteFetch;
+    ev.page = page;
+    ev.blk = blk;
+    ev.node = a.node;
+    ev.peer = pi.home;
+    ev.is_write = a.write;
+    ev.miss_class = node_class;
+    ev.now = t;
+    const Cycle t2 = engine_->dispatch(ev, &pi);
     if (pi.mode[a.node] == PageMode::kScoma) {
       // Relocated: service this access through the S-COMA path.
       return access_scoma(a, pi, blk, t2);
@@ -253,7 +294,16 @@ Cycle DsmSystem::access_scoma(const MemAccess& a, PageInfo& pi, Addr blk,
     }
     // Write to a shared tag: upgrade at home.
     t = remote_upgrade(a.node, page, blk, t);
-    count_page_miss(page, pi, a.node, /*is_write=*/true, t);
+    emit_counted(/*upgrade=*/true, page, pi, a.node, /*is_write=*/true,
+                 upgrade_bytes(a.node, pi.home, blk), t);
+    // Re-find the frame: a policy page op may have flushed it — or
+    // released it outright — while the event dispatched.
+    f = pc.find(page);
+    if (f == nullptr || !f->has(bix)) {
+      MemAccess retry = a;
+      retry.start = t;
+      return access(retry);
+    }
     record_remote_miss(a.node, MissClass::kCoherence);
     f->tag[bix] = NodeState::kModified;
     l1_install(a, blk, L1State::kM);
@@ -385,6 +435,27 @@ void DsmSystem::bc_install(NodeId n, Addr blk, NodeState st, Cycle t) {
     net_->post(dirty ? Message::writeback(n, vpi->home, v.blk)
                      : Message::control(MsgKind::kHint, n, vpi->home, v.blk),
                t);
+  // Event: a block of `vpage` left this node's block cache; charged the
+  // writeback or replacement hint the home just received (zero when the
+  // victim's memory is local and no message exists).
+  {
+    PolicyEvent ev;
+    ev.kind = PolicyEventKind::kEviction;
+    ev.page = vpage;
+    ev.blk = v.blk;
+    ev.node = n;
+    ev.peer = vpi->home;
+    ev.is_write = dirty;
+    ev.bytes =
+        (vpi->home == n)
+            ? 0
+            : (dirty
+                   ? Message::writeback(n, vpi->home, v.blk).total_bytes()
+                   : Message::control(MsgKind::kHint, n, vpi->home, v.blk)
+                         .total_bytes());
+    ev.now = t;
+    engine_->dispatch(ev, &pt_.info(vpage));
+  }
   DirEntry& e = dir_.entry(v.blk);
   if (dirty) {
     DSM_DEBUG_ASSERT(e.state == DirState::kExclusive && e.owner == n);

@@ -10,8 +10,16 @@
 #include <algorithm>
 
 #include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 
 namespace dsm {
+
+namespace {
+// Byte charge of the bulk copy a migration/replication ships.
+std::uint64_t page_bulk_bytes(NodeId src, NodeId dst, Addr page) {
+  return Message::page_bulk(src, dst, page, kBlocksPerPage).total_bytes();
+}
+}  // namespace
 
 Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
   PageInfo& pi = pt_.info(page);
@@ -43,12 +51,30 @@ Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
   t += cfg_.timing.tlb_shootdown;  // map the replica read-only at `node`
   stats_->node[node].tlb_shootdowns++;
 
+  // The replica supersedes any S-COMA mapping the target held: return
+  // the (gather-emptied) frame to the mapper. Other nodes keep their
+  // mappings — their frames refill by demand fetches from the home.
+  if (PageCache::Frame* f = pc_[node]->find(page)) {
+    DSM_DEBUG_ASSERT(f->valid_blocks == 0, "gather left blocks in frame");
+    pc_[node]->release(page);
+  }
+
   pi.replicated = true;
   pi.replica_mask |= (1u << node);
   pi.mode[node] = PageMode::kReplica;
   pi.op_pending_until = t;
   stats_->node[node].page_replications++;
   stats_->node[node].blocks_copied += kBlocksPerPage;
+
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kPageOpComplete;
+  ev.op = PageOpKind::kReplicate;
+  ev.page = page;
+  ev.node = node;
+  ev.peer = home;
+  ev.bytes = page_bulk_bytes(home, node, page);
+  ev.now = t;
+  engine_->dispatch(ev, &pi);
   return t;
 }
 
@@ -79,13 +105,34 @@ Cycle DsmSystem::migrate_page(Addr page, NodeId node, Cycle now) {
   const Addr first_blk = page << (kPageBits - kBlockBits);
   for (unsigned i = 0; i < kBlocksPerPage; ++i) dir_.erase(first_blk + i);
 
+  // Every node's mapping is torn down below: S-COMA frames holding the
+  // page are dead and must be returned to the mapper, or a later
+  // re-relocation would find a ghost frame already allocated.
+  for (NodeId s = 0; s < cfg_.nodes; ++s) {
+    if (PageCache::Frame* f = pc_[s]->find(page)) {
+      DSM_DEBUG_ASSERT(f->valid_blocks == 0, "gather left blocks in frame");
+      pc_[s]->release(page);
+    }
+  }
+
   pi.home = node;
   for (NodeId s = 0; s < cfg_.nodes; ++s)
     pi.mode[s] = (s == node) ? PageMode::kCcNuma : PageMode::kUnmapped;
-  pi.reset_migrep_counters();
   pi.op_pending_until = t;
   stats_->node[node].page_migrations++;
   stats_->node[node].blocks_copied += kBlocksPerPage;
+
+  // The completion event also resets the page's observation counters
+  // (the engine clears the miss history a migration invalidates).
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kPageOpComplete;
+  ev.op = PageOpKind::kMigrate;
+  ev.page = page;
+  ev.node = node;
+  ev.peer = old_home;
+  ev.bytes = page_bulk_bytes(old_home, node, page);
+  ev.now = t;
+  engine_->dispatch(ev, &pi);
   return t;
 }
 
@@ -94,17 +141,19 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
   DSM_ASSERT(pi.replicated);
   const NodeId home = pi.home;
   Cycle t = std::max(now, pi.op_pending_until);
+  std::uint64_t wire_bytes = 0;
 
   // Write-protection fault at the writer, then a switch-to-R/W request
   // at the home (a page-grain upgrade message).
   stats_->node[writer_node].soft_traps++;
   t += cfg_.timing.soft_trap;
-  Cycle th =
-      (writer_node == home)
-          ? t
-          : net_->send(
-                Message::control(MsgKind::kUpgrade, writer_node, home, page),
-                t);
+  Cycle th = t;
+  if (writer_node != home) {
+    const Message up =
+        Message::control(MsgKind::kUpgrade, writer_node, home, page);
+    wire_bytes += up.total_bytes();
+    th = net_->send(up, t);
+  }
   th = device_[home].reserve(th, cfg_.timing.soft_trap) +
        cfg_.timing.soft_trap;
   stats_->node[home].soft_traps++;
@@ -113,25 +162,37 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
   Cycle done = th;
   for (NodeId s = 0; s < cfg_.nodes; ++s) {
     if (!((pi.replica_mask >> s) & 1u)) continue;
-    Cycle ts =
-        net_->send(Message::control(MsgKind::kInval, home, s, page), th);
+    const Message inv = Message::control(MsgKind::kInval, home, s, page);
+    const Message ack = Message::control(MsgKind::kAck, s, home, page);
+    wire_bytes += inv.total_bytes() + ack.total_bytes();
+    Cycle ts = net_->send(inv, th);
     flush_page_at_node(s, page, MissClass::kCoherence);
     ts += cfg_.timing.tlb_shootdown;
     stats_->node[s].tlb_shootdowns++;
     pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
-    done = std::max(
-        done, net_->send(Message::control(MsgKind::kAck, s, home, page), ts));
+    done = std::max(done, net_->send(ack, ts));
   }
   pi.replicated = false;
   pi.replica_mask = 0;
   pi.op_pending_until = done;
   stats_->node[writer_node].replica_collapses++;
-  const Cycle back =
-      (writer_node == home)
-          ? done
-          : net_->send(
-                Message::control(MsgKind::kAck, home, writer_node, page),
-                done);
+  Cycle back = done;
+  if (writer_node != home) {
+    const Message grant =
+        Message::control(MsgKind::kAck, home, writer_node, page);
+    wire_bytes += grant.total_bytes();
+    back = net_->send(grant, done);
+  }
+
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kReplicaCollapse;
+  ev.page = page;
+  ev.node = writer_node;
+  ev.peer = home;
+  ev.is_write = true;
+  ev.bytes = wire_bytes;
+  ev.now = back;
+  engine_->dispatch(ev, &pi);
   return back;
 }
 
@@ -169,6 +230,16 @@ Cycle DsmSystem::relocate_to_scoma(NodeId node, Addr page, Cycle now) {
   pc.allocate(page);
   pi.mode[node] = PageMode::kScoma;
   stats_->node[node].page_relocations++;
+
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kPageOpComplete;
+  ev.op = PageOpKind::kRelocate;
+  ev.page = page;
+  ev.node = node;
+  ev.peer = pi.home;
+  ev.bytes = 0;  // no bulk copy: the frame fills by demand fetches
+  ev.now = t;
+  engine_->dispatch(ev, &pi);
   return t;
 }
 

@@ -1,7 +1,12 @@
 // Global page bookkeeping: home assignment (first-touch), per-node
-// mapping modes (CC-NUMA / S-COMA / read-only replica), page-operation
-// pending windows, and the per-page per-node counters used by the
-// MigRep and R-NUMA policies.
+// mapping modes (CC-NUMA / S-COMA / read-only replica), and
+// page-operation pending windows.
+//
+// This is *mechanism* state only. The per-page observation counters the
+// decision engines consume (MigRep miss counters, R-NUMA refetch
+// counters, accumulated remote bytes) live in the PolicyEngine's
+// PageObs records (protocols/policy_engine.hpp), which absorb the
+// policy-event stream the substrate emits.
 //
 // A single PageTable instance is global truth for the cluster; all
 // protocol engines consult it. It stores *simulator* state — consulting
@@ -38,29 +43,6 @@ struct PageInfo {
   Cycle op_pending_until = 0;     // global page op (mig/rep/collapse) window
 
   std::array<PageMode, kMaxNodes> mode{};  // all kUnmapped initially
-
-  // --- MigRep home-side monitoring -------------------------------------
-  std::array<std::uint32_t, kMaxNodes> read_miss_ctr{};
-  std::array<std::uint32_t, kMaxNodes> write_miss_ctr{};
-
-  // --- R-NUMA requester-side monitoring --------------------------------
-  std::array<std::uint32_t, kMaxNodes> refetch_ctr{};
-
-  // Total remote misses ever counted for this page (drives the
-  // R-NUMA+MigRep integration delay).
-  std::uint64_t lifetime_misses = 0;
-  // Misses counted since the last periodic counter reset. The paper's
-  // "reset interval of 32000 misses" is applied per page: when this
-  // reaches the interval, the page's MigRep counters are cleared.
-  std::uint64_t counted_since_reset = 0;
-
-  std::uint32_t miss_ctr(NodeId n) const {
-    return read_miss_ctr[n] + write_miss_ctr[n];
-  }
-  void reset_migrep_counters() {
-    read_miss_ctr.fill(0);
-    write_miss_ctr.fill(0);
-  }
 };
 
 class PageTable {

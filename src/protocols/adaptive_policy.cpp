@@ -1,0 +1,112 @@
+#include "protocols/adaptive_policy.hpp"
+
+#include <algorithm>
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+AdaptivePolicy::AdaptivePolicy(DsmSystem& sys)
+    : sys_(&sys), relocation_ok_(uses_page_cache(sys.config().kind)) {}
+
+std::uint64_t AdaptivePolicy::page_move_bytes() {
+  return Message::page_bulk(0, 0, 0, kBlocksPerPage).total_bytes();
+}
+
+std::uint32_t AdaptivePolicy::level(const AdaptState& st) const {
+  const std::uint64_t idle = epoch_ - st.last_op_epoch;
+  return st.streak > idle ? std::uint32_t(st.streak - idle) : 0;
+}
+
+std::uint64_t AdaptivePolicy::threshold_bytes(const AdaptState& st) const {
+  const TimingConfig& t = sys_->timing();
+  const std::uint32_t shift =
+      std::min(level(st), t.adaptive_hysteresis_max_shift);
+  return std::uint64_t(t.adaptive_k) * page_move_bytes() << shift;
+}
+
+bool AdaptivePolicy::looks_read_only(const PageObs& obs) const {
+  return obs.no_write_misses(sys_->nodes());
+}
+
+bool AdaptivePolicy::dominates(const PageObs& obs, NodeId requester,
+                               NodeId home) const {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < sys_->nodes(); ++n) total += obs.remote_bytes[n];
+  return obs.remote_bytes[requester] * 2 >= total &&
+         obs.miss_ctr(requester) >= obs.miss_ctr(home);
+}
+
+void AdaptivePolicy::note_op(AdaptState& st) {
+  st.streak = level(st) + 1;
+  st.last_op_epoch = epoch_;
+}
+
+Cycle AdaptivePolicy::on_event(const PolicyEvent& ev, PageInfo* pi,
+                               PageObs* obs, Cycle now) {
+  switch (ev.kind) {
+    case PolicyEventKind::kEpochTick:
+      epoch_ = ev.epoch;  // hysteresis decay is computed lazily from this
+      return now;
+    case PolicyEventKind::kMiss:
+    case PolicyEventKind::kUpgrade:
+    case PolicyEventKind::kRemoteFetch:
+      break;
+    default:
+      return now;
+  }
+  const NodeId req = ev.node;
+  if (req == pi->home) return now;
+
+  AdaptState& st = state_[ev.page];
+  if (obs->remote_bytes[req] < threshold_bytes(st)) return now;
+
+  // The accumulated remote bytes exceed k x the cost of moving the
+  // page: staying put has lost the competitive bet. Pick the verb the
+  // evidence supports at a call site where it is safe.
+  if (ev.kind == PolicyEventKind::kRemoteFetch) {
+    // Requester side, before the fetch leaves the node: the only spot
+    // where an S-COMA relocation may redirect the triggering access.
+    // Contended or written pages land here; read-only and single-user
+    // pages are left for the home-side events to replicate/migrate.
+    if (relocation_ok_ && pi->mode[req] == PageMode::kCcNuma &&
+        !looks_read_only(*obs) && !dominates(*obs, req, pi->home)) {
+      if (!ev.relocation_allowed) {  // Section 6.4 integration gate
+        counters().suppressed++;
+        return now;
+      }
+      note_op(st);
+      counters().relocations++;
+      return sys_->relocate_to_scoma(req, ev.page, now);
+    }
+    return now;
+  }
+
+  // Home side (counted miss / upgrade): migration and replication are
+  // safe here — the same call site MigRep uses.
+  if (looks_read_only(*obs) && !ev.is_write &&
+      pi->mode[req] != PageMode::kReplica) {
+    note_op(st);
+    counters().replications++;
+    sys_->replicate_page(ev.page, req, now);
+    return now;
+  }
+  if (!pi->replicated && dominates(*obs, req, pi->home)) {
+    note_op(st);
+    counters().migrations++;
+    sys_->migrate_page(ev.page, req, now);
+    return now;
+  }
+  // No home-side verb applies. If the requester-side relocation verb is
+  // still live (S-COMA substrate, page CC-NUMA-mapped there), keep the
+  // ledger intact — the node's next kRemoteFetch event will relocate.
+  if (relocation_ok_ && pi->mode[req] == PageMode::kCcNuma) return now;
+  // Genuinely stuck (e.g. written page on a block-cache-only substrate
+  // with no dominant user). Halve the ledger so the trigger re-arms
+  // instead of firing on every further miss.
+  counters().suppressed++;
+  obs->remote_bytes[req] /= 2;
+  return now;
+}
+
+}  // namespace dsm

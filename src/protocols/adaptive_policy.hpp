@@ -1,0 +1,72 @@
+// Traffic-competitive adaptive policy: the first decision engine the
+// old two-hook interface could not express.
+//
+// Classic competitive argument (cf. ski-rental; MigrantStore's
+// cost-amortized migration): moving a page costs a known number of
+// interconnect bytes (the kPageBulk transfer); leaving it put costs a
+// stream of small per-miss transfers. The engine's event stream prices
+// every remote interaction of a page in bytes (counted misses,
+// upgrades, evictions, invalidations, collapses — the engine
+// accumulates them per page per node in PageObs::remote_bytes), so the
+// policy triggers a page operation exactly when a node's accumulated
+// bytes exceed
+//
+//     adaptive_k x page-move-bytes x 2^hysteresis_level
+//
+// i.e. once staying put has provably cost k times what moving would
+// have. The verb is chosen from the same evidence:
+//   replicate — the page looks read-only (no write counters) and the
+//               requester holds no replica yet;
+//   migrate   — the requester dominates the page's remote traffic and
+//               out-misses the home (decided at the home-side counted
+//               miss, where MigRep-style moves are safe);
+//   relocate  — contended/written pages on an S-COMA-capable system:
+//               remap to the requester's page cache at the
+//               requester-side fetch event (where R-NUMA-style
+//               relocation is safe).
+// Hysteresis: every op on a page doubles its next threshold (up to
+// adaptive_hysteresis_max_shift doublings), decaying one level per
+// epoch tick without an op — repeated movement of a contended page gets
+// exponentially harder, suppressing ping-pong.
+#pragma once
+
+#include <unordered_map>
+
+#include "protocols/policy_engine.hpp"
+
+namespace dsm {
+
+class AdaptivePolicy final : public Policy {
+ public:
+  explicit AdaptivePolicy(DsmSystem& sys);
+
+  const char* name() const override { return "adaptive"; }
+  Cycle on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
+                 Cycle now) override;
+
+  // The modeled byte cost of one page move (the kPageBulk transfer).
+  static std::uint64_t page_move_bytes();
+
+ private:
+  struct AdaptState {
+    std::uint32_t streak = 0;        // ops without an intervening decay
+    std::uint64_t last_op_epoch = 0;
+  };
+
+  // Current hysteresis level: the op streak less one level per epoch
+  // elapsed since the last op (computed lazily; no page walks on tick).
+  std::uint32_t level(const AdaptState& st) const;
+  std::uint64_t threshold_bytes(const AdaptState& st) const;
+  bool looks_read_only(const PageObs& obs) const;
+  // Requester holds a majority of the page's accumulated remote bytes
+  // and out-misses the home.
+  bool dominates(const PageObs& obs, NodeId requester, NodeId home) const;
+  void note_op(AdaptState& st);
+
+  DsmSystem* sys_;
+  bool relocation_ok_;  // substrate has a real S-COMA page cache
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<Addr, AdaptState> state_;
+};
+
+}  // namespace dsm

@@ -1,36 +1,38 @@
 #include "protocols/migrep_policy.hpp"
 
+#include "dsm/cluster.hpp"
+
 namespace dsm {
 
-bool MigRepPolicy::all_write_counters_zero(const PageInfo& pi) const {
-  for (NodeId n = 0; n < sys_->nodes(); ++n)
-    if (pi.write_miss_ctr[n] != 0) return false;
-  return true;
-}
-
-void MigRepPolicy::on_page_miss(Addr page, PageInfo& pi, NodeId requester,
-                                bool is_write, Cycle now) {
-  (void)is_write;
-  if (requester == pi.home) return;  // home's own misses only feed counters
+Cycle MigRepPolicy::on_event(const PolicyEvent& ev, PageInfo* pi,
+                             PageObs* obs, Cycle now) {
+  if (ev.kind != PolicyEventKind::kMiss &&
+      ev.kind != PolicyEventKind::kUpgrade)
+    return now;
+  const NodeId requester = ev.node;
+  if (requester == pi->home) return now;  // home misses only feed counters
   const std::uint32_t threshold = sys_->timing().migrep_threshold;
 
   // Replication rule: a long-running read-shared page.
-  if (replication_ && !is_write && all_write_counters_zero(pi) &&
-      pi.read_miss_ctr[requester] > threshold &&
-      pi.mode[requester] != PageMode::kReplica) {
-    sys_->replicate_page(page, requester, now);
+  if (replication_ && !ev.is_write && obs->no_write_misses(sys_->nodes()) &&
+      obs->read_miss_ctr[requester] > threshold &&
+      pi->mode[requester] != PageMode::kReplica) {
+    sys_->replicate_page(ev.page, requester, now);
+    counters().replications++;
     // The requester's counters served their purpose; reset them so the
     // next decision starts fresh.
-    pi.read_miss_ctr[requester] = 0;
-    return;
+    obs->read_miss_ctr[requester] = 0;
+    return now;
   }
 
   // Migration rule: the requester uses the page more than the home.
-  if (migration_ && !pi.replicated &&
-      pi.miss_ctr(requester) >= pi.miss_ctr(pi.home) + threshold) {
-    sys_->migrate_page(page, requester, now);
-    // migrate_page resets the page's counters.
+  if (migration_ && !pi->replicated &&
+      obs->miss_ctr(requester) >= obs->miss_ctr(pi->home) + threshold) {
+    sys_->migrate_page(ev.page, requester, now);
+    counters().migrations++;
+    // The migration-completion event resets the page's counters.
   }
+  return now;
 }
 
 }  // namespace dsm

@@ -1,37 +1,37 @@
-// CC-NUMA+MigRep page migration/replication policy (Section 3.1).
+// CC-NUMA+MigRep page migration/replication policy (Section 3.1),
+// expressed as a decision engine over the policy-event stream.
 //
-// The home directory keeps per-page per-node read/write miss counters
-// (PageInfo). On each counted miss this policy applies the paper's two
-// rules:
+// The engine keeps per-page per-node read/write miss counters (PageObs)
+// fed by the counted-miss/upgrade events the home emits. On each such
+// event this policy applies the paper's two rules:
 //   replication — all write counters are zero AND the requester's read
 //                 counter exceeds the threshold AND the requester holds
 //                 no replica yet;
 //   migration   — the requester's total counter exceeds the home's by at
 //                 least the threshold.
-// Counters reset every `migrep_reset_interval` counted misses at the
-// home (handled by DsmSystem::count_page_miss).
+// Counters reset every `migrep_reset_interval` counted misses per page
+// and on counter-cache displacement (engine bookkeeping).
 //
 // The mechanisms (gather/flush/copy, poison bits, lazy shootdown) and
 // their Table-3 costs live in DsmSystem; this class only decides.
 #pragma once
 
-#include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 
 namespace dsm {
 
-class MigRepPolicy final : public HomePolicy {
+class MigRepPolicy final : public Policy {
  public:
   MigRepPolicy(DsmSystem& sys, bool enable_migration, bool enable_replication)
       : sys_(&sys),
         migration_(enable_migration),
         replication_(enable_replication) {}
 
-  void on_page_miss(Addr page, PageInfo& pi, NodeId requester, bool is_write,
-                    Cycle now) override;
+  const char* name() const override { return "migrep"; }
+  Cycle on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
+                 Cycle now) override;
 
  private:
-  bool all_write_counters_zero(const PageInfo& pi) const;
-
   DsmSystem* sys_;
   bool migration_;
   bool replication_;

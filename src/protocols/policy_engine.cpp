@@ -1,0 +1,137 @@
+#include "protocols/policy_engine.hpp"
+
+#include "common/log.hpp"
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+const char* to_string(PolicyEventKind k) {
+  switch (k) {
+    case PolicyEventKind::kMiss: return "miss";
+    case PolicyEventKind::kUpgrade: return "upgrade";
+    case PolicyEventKind::kRemoteFetch: return "remote-fetch";
+    case PolicyEventKind::kEviction: return "eviction";
+    case PolicyEventKind::kInvalidation: return "invalidation";
+    case PolicyEventKind::kReplicaCollapse: return "replica-collapse";
+    case PolicyEventKind::kPageOpComplete: return "page-op-complete";
+    case PolicyEventKind::kEpochTick: return "epoch-tick";
+    default: return "?";
+  }
+}
+
+PolicyEngine::PolicyEngine(const SystemConfig& cfg, Stats* stats)
+    : cfg_(&cfg), stats_(stats) {
+  DSM_ASSERT(stats_ != nullptr);
+  counter_cache_.reserve(cfg.nodes);
+  for (NodeId n = 0; n < cfg.nodes; ++n)
+    counter_cache_.emplace_back(cfg.migrep_counter_cache_pages);
+  next_tick_at_ = cfg.timing.policy_epoch_events;
+}
+
+void PolicyEngine::add_policy(std::unique_ptr<Policy> p) {
+  stats_->policy.push_back(PolicyCounters{p->name()});
+  policies_.push_back(std::move(p));
+  // push_back may reallocate Stats::policy: re-anchor every policy's
+  // counters pointer, not just the new one's.
+  for (std::size_t i = 0; i < policies_.size(); ++i)
+    policies_[i]->counters_ = &stats_->policy[i];
+}
+
+void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
+                           const PageInfo& pi) {
+  switch (ev.kind) {
+    case PolicyEventKind::kMiss:
+    case PolicyEventKind::kUpgrade: {
+      obs.lifetime_misses++;
+      // Finite counter hardware (Section 6.4): installing counters for
+      // this page may displace another page's counters at this home.
+      // The displaced page's observation counters are cleared at the
+      // moment of displacement.
+      const Addr displaced = counter_cache_[pi.home].touch(ev.page);
+      if (displaced != CounterCache::kNoPage) {
+        auto it = obs_.find(displaced);
+        if (it != obs_.end()) it->second.reset_migrep_counters();
+      }
+      if (ev.is_write)
+        obs.write_miss_ctr[ev.node]++;
+      else
+        obs.read_miss_ctr[ev.node]++;
+      // Periodic reset (Section 3.1): every `migrep_reset_interval`
+      // counted misses to the page, its counters start over, bounding
+      // stale history.
+      if (++obs.counted_since_reset >= cfg_->timing.migrep_reset_interval) {
+        obs.counted_since_reset = 0;
+        obs.reset_migrep_counters();
+      }
+      if (ev.node != pi.home) obs.remote_bytes[ev.node] += ev.bytes;
+      break;
+    }
+    case PolicyEventKind::kRemoteFetch:
+      // Refetch = a capacity/conflict-classified re-fetch of a block the
+      // node cached before (Section 3.2's switching-counter input).
+      if (ev.miss_class == MissClass::kCapacity) obs.refetch_ctr[ev.node]++;
+      // Integration gate (Section 6.4): relocation is held back until
+      // the page has been observed for an initial miss interval.
+      ev.relocation_allowed =
+          obs.lifetime_misses >= cfg_->timing.rnuma_relocation_delay_misses;
+      break;
+    case PolicyEventKind::kEviction:
+    case PolicyEventKind::kInvalidation:
+    case PolicyEventKind::kReplicaCollapse:
+      // Same attribution rule as counted misses: the ledger prices
+      // *remote* use, so the home's own actions (e.g. the home writing
+      // a replicated page collapses it with nonzero wire bytes) are
+      // never charged to a remote_bytes slot.
+      if (ev.node != pi.home) obs.remote_bytes[ev.node] += ev.bytes;
+      break;
+    case PolicyEventKind::kPageOpComplete:
+      // Migration starts the page's counter history over (the old
+      // home's usage comparison is meaningless at the new home).
+      if (ev.op == PageOpKind::kMigrate) obs.reset_migrep_counters();
+      // Any completed op settles the byte ledger: the competitive
+      // argument restarts from zero accumulated traffic.
+      obs.reset_remote_bytes();
+      break;
+    case PolicyEventKind::kEpochTick:
+    case PolicyEventKind::kCount:
+      break;
+  }
+}
+
+Cycle PolicyEngine::dispatch(PolicyEvent& ev, PageInfo* pi) {
+  DSM_ASSERT(ev.kind != PolicyEventKind::kEpochTick,
+             "epoch ticks are engine-generated");
+  DSM_ASSERT(pi != nullptr);
+  PageObs& o = obs_[ev.page];
+  events_++;
+  depth_++;
+  observe(ev, o, *pi);
+  Cycle t = ev.now;
+  for (auto& p : policies_) {
+    p->counters_->events++;
+    t = p->on_event(ev, pi, &o, t);
+  }
+  depth_--;
+  if (depth_ == 0) maybe_tick(t);
+  return t;
+}
+
+void PolicyEngine::maybe_tick(Cycle now) {
+  if (ticking_ || cfg_->timing.policy_epoch_events == 0) return;
+  ticking_ = true;
+  while (events_ >= next_tick_at_) {
+    epoch_++;
+    next_tick_at_ += cfg_->timing.policy_epoch_events;
+    PolicyEvent tick;
+    tick.kind = PolicyEventKind::kEpochTick;
+    tick.epoch = epoch_;
+    tick.now = now;
+    for (auto& p : policies_) {
+      p->counters_->events++;
+      now = p->on_event(tick, nullptr, nullptr, now);
+    }
+  }
+  ticking_ = false;
+}
+
+}  // namespace dsm

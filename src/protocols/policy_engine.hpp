@@ -1,0 +1,252 @@
+// Unified policy-event layer: composable decision engines over the
+// byte-accounted event stream.
+//
+// The substrate (DsmSystem) emits a PolicyEvent for every observable
+// protocol action — a counted miss at the home, an upgrade, a remote
+// fetch about to leave a node, a block-cache eviction, a coherence
+// invalidation, a replica collapse, a page-op completion, and periodic
+// epoch ticks — each carrying the interconnect bytes the fabric charged
+// for it (derived from the same typed-message geometry the fabric
+// accounts, so events speak the paper's currency).
+//
+// The PolicyEngine owns all per-page observation state: the MigRep
+// read/write miss counters, the R-NUMA refetch counters, lifetime miss
+// counts, the finite CounterCache of Section 6.4, per-node accumulated
+// remote bytes, and the relocation-delay gate. The substrate keeps only
+// mechanism state (PageInfo: home, modes, replica set, op windows).
+// Events are first absorbed into the observation state, then dispatched
+// to an ordered list of composable Policy instances, each of which may
+// invoke the timed DsmSystem mechanisms (migrate / replicate / collapse
+// / relocate) and may delay the triggering access by returning a later
+// cycle.
+//
+// Decision engines implemented over this interface:
+//   MigRepPolicy    the paper's Section 3.1 migration/replication rules
+//   RNumaPolicy     the paper's Section 3.2 reactive relocation
+//   AdaptivePolicy  traffic-competitive adaptive engine (new): fires a
+//                   page op when a page's accumulated remote bytes
+//                   exceed k x the modeled page-move byte cost
+// All three produce per-policy decision counters in Stats::policy.
+#pragma once
+
+#include <array>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dsm/page_table.hpp"
+
+namespace dsm {
+
+class DsmSystem;
+class PolicyEngine;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+enum class PolicyEventKind : std::uint8_t {
+  kMiss = 0,         // counted miss at the home (fetch or local home miss)
+  kUpgrade,          // counted write-upgrade at the home
+  kRemoteFetch,      // requester-side: block fetch about to leave the node
+  kEviction,         // block-cache victim left a node (writeback or hint)
+  kInvalidation,     // a node's copy recalled/downgraded by the home
+  kReplicaCollapse,  // replicated page switched back to read-write
+  kPageOpComplete,   // a migrate/replicate/relocate mechanism finished
+  kEpochTick,        // engine-generated, every policy_epoch_events events
+  kCount,
+};
+
+const char* to_string(PolicyEventKind k);
+
+// Which mechanism a kPageOpComplete reports.
+enum class PageOpKind : std::uint8_t { kMigrate = 0, kReplicate, kRelocate };
+
+struct PolicyEvent {
+  PolicyEventKind kind = PolicyEventKind::kMiss;
+  Addr page = 0;
+  Addr blk = 0;                  // block number, where meaningful
+  NodeId node = kNoNode;         // acting node (requester / evictor / victim)
+  NodeId peer = kNoNode;         // other party (home, invalidated sharer...)
+  bool is_write = false;         // kMiss / kUpgrade
+  MissClass miss_class = MissClass::kCold;  // kRemoteFetch
+  PageOpKind op = PageOpKind::kMigrate;     // kPageOpComplete
+  // Engine-computed gate (kRemoteFetch): false while the page is still
+  // inside the R-NUMA+MigRep integration's initial observation interval
+  // (Section 6.4) — relocation decisions must hold off.
+  bool relocation_allowed = true;
+  // Interconnect bytes the fabric charged for this event's messages
+  // (0 for purely node-local events). Derived from net/message.hpp
+  // geometry at the emission site.
+  std::uint64_t bytes = 0;
+  std::uint64_t epoch = 0;       // kEpochTick
+  Cycle now = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Observation state (engine-owned)
+// ---------------------------------------------------------------------------
+
+// Per-page observation record. This is monitoring state, not mechanism
+// state: the substrate never reads it, policies never bypass it.
+struct PageObs {
+  // MigRep home-side per-node miss counters (Section 3.1).
+  std::array<std::uint32_t, kMaxNodes> read_miss_ctr{};
+  std::array<std::uint32_t, kMaxNodes> write_miss_ctr{};
+  // R-NUMA requester-side refetch counters (Section 3.2).
+  std::array<std::uint32_t, kMaxNodes> refetch_ctr{};
+  // Accumulated interconnect bytes (data + control) attributed to each
+  // node's remote use of this page — the adaptive engine's currency.
+  std::array<std::uint64_t, kMaxNodes> remote_bytes{};
+
+  // Total remote misses ever counted for this page (drives the
+  // R-NUMA+MigRep integration delay).
+  std::uint64_t lifetime_misses = 0;
+  // Misses counted since the last periodic counter reset (the paper's
+  // per-page "reset interval of 32000 misses").
+  std::uint64_t counted_since_reset = 0;
+
+  std::uint32_t miss_ctr(NodeId n) const {
+    return read_miss_ctr[n] + write_miss_ctr[n];
+  }
+  // No write misses observed from any of the first `nodes` nodes since
+  // the last counter reset (the read-only test both the MigRep and the
+  // adaptive replication rules share).
+  bool no_write_misses(NodeId nodes) const {
+    for (NodeId n = 0; n < nodes; ++n)
+      if (write_miss_ctr[n] != 0) return false;
+    return true;
+  }
+  void reset_migrep_counters() {
+    read_miss_ctr.fill(0);
+    write_miss_ctr.fill(0);
+  }
+  void reset_remote_bytes() { remote_bytes.fill(0); }
+};
+
+// Finite pool of per-page miss counters at a home node (Section 6.4:
+// real hardware provides a *cache* of counters, not counters for every
+// page of memory). touch() returns the page whose counters were evicted
+// to make room, if any; the engine then clears that page's observation
+// counters — the information loss the paper's sensitivity study models.
+class CounterCache {
+ public:
+  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {}
+
+  bool unlimited() const { return capacity_ == 0; }
+
+  // Returns the evicted page, or kNoPage if none was displaced.
+  // O(1): recency is an intrusive list (front = MRU), the map holds
+  // list iterators, and the victim is always the list tail.
+  static constexpr Addr kNoPage = ~Addr(0);
+  Addr touch(Addr page) {
+    if (unlimited()) return kNoPage;
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return kNoPage;
+    }
+    lru_.push_front(page);
+    map_.emplace(page, lru_.begin());
+    if (map_.size() <= capacity_) return kNoPage;
+    const Addr evicted = lru_.back();
+    lru_.pop_back();
+    map_.erase(evicted);
+    evictions_++;
+    return evicted;
+  }
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t size() const { return map_.size(); }
+
+  // The recency map holds iterators into lru_: moves keep them valid,
+  // copies would not. The engine stores these in vectors sized once.
+  CounterCache(CounterCache&&) = default;
+  CounterCache& operator=(CounterCache&&) = default;
+  CounterCache(const CounterCache&) = delete;
+  CounterCache& operator=(const CounterCache&) = delete;
+
+ private:
+  std::uint32_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<Addr> lru_;  // front = most recently touched
+  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+};
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+// A composable decision engine. Policies receive every event after the
+// engine has absorbed it into the observation state; they may invoke
+// DsmSystem's timed page-op mechanisms and may delay the triggering
+// access by returning a cycle later than `now`. `pi`/`obs` are null for
+// page-less events (epoch ticks).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const char* name() const = 0;
+  virtual Cycle on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
+                         Cycle now) = 0;
+
+ protected:
+  // Assigned by PolicyEngine::add_policy; valid for the engine's life.
+  PolicyCounters& counters() { return *counters_; }
+
+ private:
+  friend class PolicyEngine;
+  PolicyCounters* counters_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class PolicyEngine {
+ public:
+  PolicyEngine(const SystemConfig& cfg, Stats* stats);
+
+  // Ordered attachment: events visit policies in attachment order.
+  void add_policy(std::unique_ptr<Policy> p);
+  std::size_t policy_count() const { return policies_.size(); }
+
+  // Absorb `ev` into the observation state, then dispatch it through
+  // the policy list. Returns the (possibly delayed) time the triggering
+  // access may proceed; emission sites that run off the critical path
+  // ignore it. `pi` is the event page's mechanism record (null only for
+  // kEpochTick).
+  Cycle dispatch(PolicyEvent& ev, PageInfo* pi);
+
+  // --- observation-state introspection (policies, tests) ------------------
+  PageObs& obs(Addr page) { return obs_[page]; }
+  const PageObs* find_obs(Addr page) const {
+    auto it = obs_.find(page);
+    return it == obs_.end() ? nullptr : &it->second;
+  }
+  CounterCache& counter_cache(NodeId home) { return counter_cache_[home]; }
+  std::uint64_t events_dispatched() const { return events_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const TimingConfig& timing() const { return cfg_->timing; }
+
+ private:
+  // Mandatory bookkeeping applied before policies see the event.
+  void observe(PolicyEvent& ev, PageObs& obs, const PageInfo& pi);
+  void maybe_tick(Cycle now);
+
+  const SystemConfig* cfg_;
+  Stats* stats_;
+  std::vector<std::unique_ptr<Policy>> policies_;
+  std::unordered_map<Addr, PageObs> obs_;
+  std::vector<CounterCache> counter_cache_;  // per home node
+  std::uint64_t events_ = 0;      // page events absorbed (ticks excluded)
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_tick_at_ = 0;
+  int depth_ = 0;                 // dispatch nesting (page ops re-enter)
+  bool ticking_ = false;
+};
+
+}  // namespace dsm

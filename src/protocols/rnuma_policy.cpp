@@ -1,18 +1,26 @@
 #include "protocols/rnuma_policy.hpp"
 
+#include "dsm/cluster.hpp"
+
 namespace dsm {
 
-Cycle RNumaPolicy::on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
-                                   MissClass miss_class, Cycle now) {
-  if (miss_class != MissClass::kCapacity) return now;
-  pi.refetch_ctr[n]++;
-  if (pi.refetch_ctr[n] <= sys_->timing().rnuma_threshold) return now;
-  if (pi.lifetime_misses < sys_->timing().rnuma_relocation_delay_misses)
+Cycle RNumaPolicy::on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
+                            Cycle now) {
+  if (ev.kind != PolicyEventKind::kRemoteFetch) return now;
+  if (ev.miss_class != MissClass::kCapacity) return now;
+  // The engine already counted this refetch in its bookkeeping pass.
+  const NodeId n = ev.node;
+  if (obs->refetch_ctr[n] <= sys_->timing().rnuma_threshold) return now;
+  if (!ev.relocation_allowed) {  // Section 6.4 integration gate
+    counters().suppressed++;
     return now;
+  }
+  (void)pi;
 
   // Relocation interrupt: remap the page into the local page cache.
-  pi.refetch_ctr[n] = 0;
-  return sys_->relocate_to_scoma(n, page, now);
+  obs->refetch_ctr[n] = 0;
+  counters().relocations++;
+  return sys_->relocate_to_scoma(n, ev.page, now);
 }
 
 }  // namespace dsm

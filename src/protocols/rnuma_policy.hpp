@@ -1,27 +1,31 @@
-// R-NUMA reactive relocation policy (Section 3.2).
+// R-NUMA reactive relocation policy (Section 3.2), expressed as a
+// decision engine over the policy-event stream.
 //
-// Each node keeps a per-page refetch counter: the number of remote
-// fetches to blocks the node cached before and lost to replacement
-// (capacity/conflict). When the counter exceeds the switching threshold
-// the page is relocated from CC-NUMA to a local S-COMA page-cache frame
-// (DsmSystem::relocate_to_scoma carries the Table-3 charges, including
-// frame eviction under memory pressure).
+// The engine counts per-page per-node refetches (remote fetches to
+// blocks the node cached before and lost to replacement) as part of its
+// kRemoteFetch bookkeeping. When a page's refetch counter exceeds the
+// switching threshold this policy relocates the page from CC-NUMA to a
+// local S-COMA page-cache frame (DsmSystem::relocate_to_scoma carries
+// the Table-3 charges, including frame eviction under memory pressure)
+// and the triggering fetch proceeds at the relocation's end time.
 //
-// For the R-NUMA+MigRep integration (Section 6.4) relocation is delayed
-// until the page has seen `rnuma_relocation_delay_misses` lifetime
-// misses, giving the MigRep counters an undisturbed initial interval.
+// For the R-NUMA+MigRep integration (Section 6.4) the engine gates the
+// event with `relocation_allowed = false` until the page has seen
+// `rnuma_relocation_delay_misses` lifetime misses, giving the MigRep
+// counters an undisturbed initial interval.
 #pragma once
 
-#include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 
 namespace dsm {
 
-class RNumaPolicy final : public CachePolicy {
+class RNumaPolicy final : public Policy {
  public:
   explicit RNumaPolicy(DsmSystem& sys) : sys_(&sys) {}
 
-  Cycle on_remote_fetch(NodeId n, Addr page, PageInfo& pi,
-                        MissClass miss_class, Cycle now) override;
+  const char* name() const override { return "rnuma"; }
+  Cycle on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
+                 Cycle now) override;
 
  private:
   DsmSystem* sys_;

@@ -1,11 +1,17 @@
-// Construction of the paper's systems: wires the DsmSystem substrate
-// with the policy engines selected by SystemKind.
+// Construction of the paper's systems: wires the DsmSystem substrate's
+// PolicyEngine with the decision engines selected by SystemKind (the
+// paper's pairing) or overridden by SystemConfig::policy.
 //
 //   CC-NUMA            substrate only, finite block cache
 //   perfect CC-NUMA    infinite block cache
 //   CC-NUMA+Rep/Mig/MigRep   + MigRepPolicy (one or both rules)
 //   R-NUMA / R-NUMA-Inf      + RNumaPolicy (finite / infinite page cache)
 //   R-NUMA+MigRep            + both policies, delayed relocation
+//
+// SystemConfig::policy != kDefault swaps the engine list: kNone strips
+// all policies, kMigRep/kRNuma force one of the paper's engines, and
+// kAdaptive attaches the traffic-competitive adaptive engine — on any
+// substrate (it relocates only when the substrate has a page cache).
 #pragma once
 
 #include <memory>

@@ -6,6 +6,7 @@
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "dsm/cluster.hpp"
+#include "protocols/policy_engine.hpp"
 #include "protocols/system_factory.hpp"
 #include "workloads/workload.hpp"
 

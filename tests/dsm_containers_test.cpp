@@ -128,20 +128,17 @@ TEST(PageTable, FirstTouchBinding) {
   EXPECT_EQ(pt.find(7)->home, 3u);
 }
 
-TEST(PageTable, CountersStartZeroAndReset) {
+TEST(PageTable, InfoStartsUnbound) {
+  // PageInfo is pure mechanism state now; the observation counters the
+  // decision engines use live in PolicyEngine::PageObs (covered by
+  // policy_engine_test.cpp).
   PageTable pt(8);
   PageInfo& pi = pt.info(1);
-  for (NodeId n = 0; n < 8; ++n) {
-    EXPECT_EQ(pi.read_miss_ctr[n], 0u);
-    EXPECT_EQ(pi.write_miss_ctr[n], 0u);
-    EXPECT_EQ(pi.refetch_ctr[n], 0u);
-  }
-  pi.read_miss_ctr[2] = 10;
-  pi.write_miss_ctr[3] = 5;
-  EXPECT_EQ(pi.miss_ctr(2), 10u);
-  pi.reset_migrep_counters();
-  EXPECT_EQ(pi.miss_ctr(2), 0u);
-  EXPECT_EQ(pi.miss_ctr(3), 0u);
+  EXPECT_EQ(pi.home, kNoNode);
+  EXPECT_FALSE(pi.replicated);
+  EXPECT_EQ(pi.op_pending_until, 0u);
+  for (NodeId n = 0; n < 8; ++n)
+    EXPECT_EQ(pi.mode[n], PageMode::kUnmapped);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// Decision-parity regression for the policy-event-layer refactor.
+//
+// The golden numbers below were produced by the pre-refactor simulator
+// (MigRep/R-NUMA as direct HomePolicy/CachePolicy hooks with counters
+// in PageInfo, commit 5fa36ae) for every SystemKind on two paper_spec
+// workloads. The event-stream re-expression must be *decision-
+// identical*: same migrations/replications/relocations, same per-class
+// byte totals, and — since decisions at identical cycles imply
+// identical timing — the same execution cycle count.
+//
+// If an intentional policy change ever breaks these numbers, regenerate
+// them with a before/after pair of runs and say so in the commit.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace dsm {
+namespace {
+
+struct Golden {
+  SystemKind kind;
+  const char* app;
+  std::uint64_t data_bytes;
+  std::uint64_t control_bytes;
+  std::uint64_t pageop_bytes;
+  std::uint64_t migrations;
+  std::uint64_t replications;
+  std::uint64_t relocations;
+  Cycle cycles;
+};
+
+// Captured from the pre-refactor tree (see header comment), Release
+// build, Scale::kDefault.
+const Golden kGolden[] = {
+    {SystemKind::kCcNuma, "raytrace", 5911520ull, 1743408ull, 0ull, 0ull,
+     0ull, 0ull, 36811152ull},
+    {SystemKind::kPerfectCcNuma, "raytrace", 375120ull, 76080ull, 0ull, 0ull,
+     0ull, 0ull, 20832124ull},
+    {SystemKind::kCcNumaRep, "raytrace", 2047280ull, 572176ull, 49344ull,
+     0ull, 12ull, 0ull, 25253425ull},
+    {SystemKind::kCcNumaMig, "raytrace", 2876480ull, 899216ull, 28784ull,
+     7ull, 0ull, 0ull, 27085316ull},
+    {SystemKind::kCcNumaMigRep, "raytrace", 2047280ull, 572176ull, 49344ull,
+     0ull, 12ull, 0ull, 25253425ull},
+    {SystemKind::kRNuma, "raytrace", 660560ull, 144112ull, 0ull, 0ull, 0ull,
+     42ull, 21339930ull},
+    {SystemKind::kRNumaInf, "raytrace", 660560ull, 144112ull, 0ull, 0ull,
+     0ull, 42ull, 21339930ull},
+    {SystemKind::kRNumaMigRep, "raytrace", 2047280ull, 572176ull, 49344ull,
+     0ull, 12ull, 0ull, 25253425ull},
+    {SystemKind::kCcNuma, "radix", 66968400ull, 8635904ull, 0ull, 0ull, 0ull,
+     0ull, 132443491ull},
+    {SystemKind::kPerfectCcNuma, "radix", 14098400ull, 2991712ull, 0ull, 0ull,
+     0ull, 0ull, 51450028ull},
+    {SystemKind::kCcNumaRep, "radix", 66968400ull, 8635904ull, 0ull, 0ull,
+     0ull, 0ull, 132443491ull},
+    {SystemKind::kCcNumaMig, "radix", 64315040ull, 7810192ull, 168592ull,
+     41ull, 0ull, 0ull, 125271440ull},
+    {SystemKind::kCcNumaMigRep, "radix", 64315040ull, 7810192ull, 168592ull,
+     41ull, 0ull, 0ull, 125271440ull},
+    {SystemKind::kRNuma, "radix", 32138160ull, 4618912ull, 0ull, 0ull, 0ull,
+     2868ull, 83910551ull},
+    {SystemKind::kRNumaInf, "radix", 32138160ull, 4618912ull, 0ull, 0ull,
+     0ull, 2868ull, 83910551ull},
+    {SystemKind::kRNumaMigRep, "radix", 64315040ull, 7810192ull, 168592ull,
+     41ull, 0ull, 0ull, 125271440ull},
+};
+
+class PolicyParity : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(PolicyParity, MatchesPreRefactorDecisions) {
+  const Golden& g = GetParam();
+  const RunResult r = run_one(paper_spec(g.kind, g.app, Scale::kDefault));
+  const TrafficBreakdown t = r.stats.traffic_total();
+  EXPECT_EQ(t.bytes_of(TrafficClass::kData), g.data_bytes);
+  EXPECT_EQ(t.bytes_of(TrafficClass::kControl), g.control_bytes);
+  EXPECT_EQ(t.bytes_of(TrafficClass::kPageOp), g.pageop_bytes);
+  EXPECT_EQ(r.stats.page_migrations_total(), g.migrations);
+  EXPECT_EQ(r.stats.page_replications_total(), g.replications);
+  EXPECT_EQ(r.stats.page_relocations_total(), g.relocations);
+  EXPECT_EQ(r.cycles, g.cycles);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Golden>& info) {
+  std::string s = std::string(to_string(info.param.kind)) + "_" +
+                  info.param.app;
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PolicyParity, ::testing::ValuesIn(kGolden),
+                         param_name);
+
+}  // namespace
+}  // namespace dsm
