@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       specs.push_back(s);
     }
   }
-  auto results = run_matrix(specs);
+  SweepTimer timer;
+  auto results = run_matrix(specs, opt.jobs);
 
   std::vector<Series> series;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
     std::printf("  %-6s %llu\n", sizes[i].first.c_str(),
                 (unsigned long long)(ev / r.stats.node.size()));
   }
+  print_throughput_summary(results, timer.seconds(), opt.jobs);
   return 0;
 }

@@ -1,10 +1,14 @@
 // Shared scaffolding for the per-table/per-figure bench binaries.
 //
 // Every binary accepts `--paper` to run the paper's Table-2 input sizes
-// (defaults are reduced; see workloads/catalog.*) and `--apps a,b,c` to
-// restrict the application list.
+// (defaults are reduced; see workloads/catalog.*), `--apps a,b,c` to
+// restrict the application list, and `--jobs N` to run the sweep's
+// independent simulation configs on N pool workers (0 = one per
+// hardware thread, 1 = serial). Per-run results are bit-identical at
+// every job count; only wall-clock changes.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "harness/parallel.hpp"
 #include "harness/runner.hpp"
 
 namespace dsm::bench {
@@ -33,6 +38,15 @@ struct Options {
   // Competitive constant override for the adaptive engine (--adaptive-k
   // N; 0 keeps the TimingConfig default).
   std::uint32_t adaptive_k = 0;
+  // Sweep-harness worker count (--jobs N; 0 = hardware concurrency,
+  // 1 = serial).
+  unsigned jobs = 0;
+  // The worker count actually used (what the throughput fields were
+  // measured under — per-run wall time includes contention from
+  // sibling workers, so jobs context is part of the measurement).
+  unsigned resolved_jobs() const {
+    return jobs == 0 ? ThreadPool::hardware_jobs() : jobs;
+  }
 
   // Apply the fabric/policy selection to one run's system config.
   void apply(SystemConfig& sc) const {
@@ -80,6 +94,19 @@ inline Options parse(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       o.json_path = argv[++i];
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v > 4096) {
+        std::fprintf(stderr,
+                     "bad --jobs '%s' (expected a worker count; 0 = one "
+                     "per hardware thread)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.jobs = unsigned(v);
+    }
     if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       const std::string p = argv[++i];
       if (p == "default") {
@@ -128,6 +155,14 @@ inline Options parse(int argc, char** argv) {
   return o;
 }
 
+inline const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kPaper: return "paper (Table 2)";
+    case Scale::kTiny: return "tiny (smoke)";
+    default: return "default (reduced)";
+  }
+}
+
 // Run `systems` x `apps`, normalize each app's row against a perfect
 // CC-NUMA run of the same app, and return series keyed like the paper's
 // figures (values = normalized execution time).
@@ -140,7 +175,7 @@ struct NormalizedGrid {
 
 inline NormalizedGrid run_normalized(
     const std::vector<std::pair<std::string, RunSpec>>& systems,
-    const std::vector<std::string>& apps, Scale scale) {
+    const std::vector<std::string>& apps, Scale scale, unsigned jobs = 0) {
   std::vector<RunSpec> specs;
   for (const auto& app : apps) {
     RunSpec base = paper_spec(SystemKind::kPerfectCcNuma, app, scale);
@@ -154,7 +189,7 @@ inline NormalizedGrid run_normalized(
       specs.push_back(s);
     }
   }
-  auto results = run_matrix(specs);
+  auto results = run_matrix(specs, jobs);
 
   NormalizedGrid grid;
   grid.apps = apps;
@@ -252,9 +287,13 @@ inline void print_link_table(const std::vector<std::string>& apps,
 
 // Emit the per-app x per-system traffic split as a flat JSON array so
 // CI can archive the bytes-per-class trajectory as a workflow artifact.
+// `jobs` is the sweep's worker count: wall_seconds/events_per_sec are
+// measured with that many concurrent runs, so the throughput fields
+// are only comparable between records with equal jobs.
 inline void write_traffic_json(const std::string& path, const char* bench,
                                const std::vector<std::string>& apps,
-                               const std::vector<ResultColumn>& columns) {
+                               const std::vector<ResultColumn>& columns,
+                               unsigned jobs = 1) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -280,7 +319,9 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           "%.1f, \"pageop_bytes_per_node\": %.1f,\n"
           "   \"migrations\": %llu, \"replications\": %llu, "
           "\"relocations\": %llu,\n"
-          "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u}",
+          "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u,\n"
+          "   \"sim_refs\": %llu, \"wall_seconds\": %.4f, "
+          "\"events_per_sec\": %.0f, \"jobs\": %u}",
           first ? "" : ",\n", bench, apps[a].c_str(), c.name.c_str(),
           to_string(r.spec.system.fabric), policy_names.c_str(),
           static_cast<unsigned long long>(r.cycles),
@@ -291,13 +332,49 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           static_cast<unsigned long long>(r.stats.page_replications_total()),
           static_cast<unsigned long long>(r.stats.page_relocations_total()),
           static_cast<unsigned long long>(r.stats.link_bytes_total()),
-          r.stats.link_max_queue_depth());
+          r.stats.link_max_queue_depth(),
+          static_cast<unsigned long long>(r.sim_refs()), r.wall_seconds,
+          r.events_per_sec(), jobs);
       first = false;
     }
   }
   std::fprintf(f, "\n]\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+}
+
+// Wall-clock timer for a whole sweep (what --jobs improves).
+class SweepTimer {
+ public:
+  SweepTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Print the sweep's host-side throughput: per-run simulator speed
+// aggregated over the matrix, plus the end-to-end wall-clock the
+// --jobs parallelism reduces.
+inline void print_throughput_summary(const std::vector<RunResult>& results,
+                                     double sweep_wall_seconds,
+                                     unsigned jobs) {
+  std::uint64_t refs = 0;
+  double run_seconds = 0;
+  for (const auto& r : results) {
+    refs += r.sim_refs();
+    run_seconds += r.wall_seconds;
+  }
+  std::printf(
+      "sweep throughput: %zu runs, %.2fM simulated refs, "
+      "%.0f refs/s/run avg, wall %.2fs (jobs=%u, cpu %.2fs)\n",
+      results.size(), double(refs) / 1e6,
+      run_seconds > 0 ? double(refs) / run_seconds : 0.0, sweep_wall_seconds,
+      jobs == 0 ? ThreadPool::hardware_jobs() : jobs, run_seconds);
 }
 
 inline void print_geomean_row(const NormalizedGrid& grid) {

@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
       {"R-NUMA", paper_spec(SystemKind::kRNuma, "")},
       {"R-NUMA-Inf", paper_spec(SystemKind::kRNumaInf, "")},
   };
-  NormalizedGrid grid = run_normalized(systems, opt.apps, opt.scale);
+  SweepTimer timer;
+  NormalizedGrid grid = run_normalized(systems, opt.apps, opt.scale, opt.jobs);
   std::printf("%s\n", render_series(grid.apps, grid.series).c_str());
   print_geomean_row(grid);
+  print_throughput_summary(grid.results, timer.seconds(), opt.jobs);
   return 0;
 }

@@ -31,9 +31,11 @@ int main(int argc, char** argv) {
       {"R-NUMA-Fast", rnuma_fast},
       {"R-NUMA-Slow", rnuma_slow},
   };
-  NormalizedGrid grid = run_normalized(systems, opt.apps, opt.scale);
+  SweepTimer timer;
+  NormalizedGrid grid = run_normalized(systems, opt.apps, opt.scale, opt.jobs);
   std::printf("%s\n", render_series(grid.apps, grid.series).c_str());
   print_geomean_row(grid);
+  print_throughput_summary(grid.results, timer.seconds(), opt.jobs);
 
   // Degradation factors (slow / fast), the figure's key comparison.
   std::printf("\nslow/fast degradation:\n");

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
       specs.push_back(s);
     }
   }
-  auto results = run_matrix(specs);
+  SweepTimer timer;
+  auto results = run_matrix(specs, opt.jobs);
 
   std::vector<Series> series;
   for (std::size_t sys = 0; sys < systems.size(); ++sys) {
@@ -92,7 +93,9 @@ int main(int argc, char** argv) {
   // router contention: show where the queueing went.
   if (opt.routed_fabric()) print_link_table(opt.apps, columns);
 
+  print_throughput_summary(results, timer.seconds(), opt.jobs);
   if (!opt.json_path.empty())
-    write_traffic_json(opt.json_path, "fig7_netlat", opt.apps, columns);
+    write_traffic_json(opt.json_path, "fig7_netlat", opt.apps, columns,
+                       opt.resolved_jobs());
   return 0;
 }

@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
       specs.push_back(s);
     }
   }
-  auto results = run_matrix(specs);
+  SweepTimer timer;
+  auto results = run_matrix(specs, opt.jobs);
 
   // Decisions table: migrations/replications/relocations per column.
   {
@@ -147,7 +148,9 @@ int main(int argc, char** argv) {
   }
   print_traffic_table(opt.apps, columns);
 
+  print_throughput_summary(results, timer.seconds(), opt.jobs);
   if (!opt.json_path.empty())
-    write_traffic_json(opt.json_path, "policy_sweep", opt.apps, columns);
+    write_traffic_json(opt.json_path, "policy_sweep", opt.apps, columns,
+                       opt.resolved_jobs());
   return 0;
 }

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
       specs.push_back(s);
     }
   }
-  auto results = run_matrix(specs);
+  SweepTimer timer;
+  auto results = run_matrix(specs, opt.jobs);
 
   Table t({"app", "mig/node", "rep/node", "reloc/node", "CC-NUMA",
            "CC-NUMA+MigRep", "R-NUMA"});
@@ -76,7 +77,9 @@ int main(int argc, char** argv) {
 
   if (opt.routed_fabric()) print_link_table(opt.apps, columns);
 
+  print_throughput_summary(results, timer.seconds(), opt.jobs);
   if (!opt.json_path.empty())
-    write_traffic_json(opt.json_path, "table4_pageops", opt.apps, columns);
+    write_traffic_json(opt.json_path, "table4_pageops", opt.apps, columns,
+                       opt.resolved_jobs());
   return 0;
 }

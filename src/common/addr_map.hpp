@@ -1,0 +1,364 @@
+// Flat address-keyed hash table for the simulator's per-address state.
+//
+// Every simulated reference that escapes the L1 used to walk three to
+// five std::unordered_map<Addr,...> lookups (page table, directory,
+// page cache, policy observation records). Node-based maps pay a heap
+// allocation per entry and a pointer chase per probe; this table
+// replaces them with:
+//
+//   * an open-addressing index — power-of-two capacity, multiplicative
+//     (Fibonacci) hashing, linear probing, grown at 1/2 load (the
+//     directory is probed for *absent* blocks constantly; low load
+//     keeps unsuccessful probes short). A probe touches one contiguous
+//     cache line of {key, slot} pairs instead of a bucket chain.
+//   * tombstone-free erase — backward-shift deletion keeps probe
+//     sequences dense, so long-running erase-heavy tables (the
+//     directory under page migration) never degrade the way
+//     tombstone schemes do.
+//   * chunk-stable value storage — values live in fixed-size chunks
+//     that never move or reallocate, so `V&` references returned by
+//     operator[] stay valid across later inserts *and* across erases
+//     of other keys (strictly stronger than unordered_map, whose
+//     rehash invalidates iterators). The protocol engine holds
+//     PageInfo/Frame references across deeply re-entrant policy
+//     dispatch; that stability is load-bearing.
+//   * deterministic snapshot iteration — for_each visits entries
+//     sorted by address, so report rows and coherence-check walks are
+//     identical across standard libraries (unordered_map bucket order
+//     is not).
+//
+// The table never stores key ~0 (kNoPage / kNoAddr sentinels).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+template <typename V>
+class AddrMap {
+ public:
+  static constexpr Addr kEmptyKey = ~Addr(0);
+
+  AddrMap() = default;
+
+  // Movable (the engine keeps AddrMaps inside owning objects that move);
+  // copying a table of mechanism state is never intended.
+  AddrMap(AddrMap&&) noexcept = default;
+  AddrMap& operator=(AddrMap&&) noexcept = default;
+  AddrMap(const AddrMap&) = delete;
+  AddrMap& operator=(const AddrMap&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* find(Addr key) {
+    DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key probed in AddrMap");
+    // One-entry memo: protocol transactions touch the same page/block
+    // several times back to back (access -> upgrade -> install). Value
+    // references are chunk-stable, so the memo survives inserts and
+    // only an erase of the memoized key clears it.
+    if (key == memo_key_) return memo_val_;
+    if (index_.empty()) return nullptr;
+    std::size_t pos = home_of(key);
+    for (;;) {
+      const IndexEnt& e = index_[pos];
+      if (e.key == key) {
+        memo_key_ = key;
+        memo_val_ = &value_at(e.slot);
+        return memo_val_;
+      }
+      if (e.key == kEmptyKey) return nullptr;
+      pos = (pos + 1) & mask_;
+    }
+  }
+  // The const overload neither reads nor writes the memo: it is a pure
+  // probe, safe on a table shared read-only between sweep workers.
+  const V* find(Addr key) const {
+    DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key probed in AddrMap");
+    if (index_.empty()) return nullptr;
+    std::size_t pos = home_of(key);
+    for (;;) {
+      const IndexEnt& e = index_[pos];
+      if (e.key == key) return &value_at(e.slot);
+      if (e.key == kEmptyKey) return nullptr;
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  // Find-or-insert with a default-constructed value. The returned
+  // reference is stable for the entry's lifetime (chunked storage).
+  V& operator[](Addr key) {
+    DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key inserted into AddrMap");
+    if (key == memo_key_) return *memo_val_;
+    if (index_.empty()) grow(kMinCapacity);
+    std::size_t pos = home_of(key);
+    for (;;) {
+      IndexEnt& e = index_[pos];
+      if (e.key == key) {
+        memo_key_ = key;
+        memo_val_ = &value_at(e.slot);
+        return *memo_val_;
+      }
+      if (e.key == kEmptyKey) break;
+      pos = (pos + 1) & mask_;
+    }
+    if ((size_ + 1) * 2 > index_.size()) {
+      grow(index_.size() * 2);
+      // Rehash moved the probe window; find the fresh empty position.
+      pos = home_of(key);
+      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
+    }
+    const std::uint32_t slot = take_slot();
+    index_[pos] = IndexEnt{key, slot};
+    size_++;
+    memo_key_ = key;
+    memo_val_ = &value_at(slot);
+    return *memo_val_;
+  }
+
+  // Erase by backward shift: entries displaced past the hole move back
+  // into it, so no tombstones accumulate. Values of *other* keys never
+  // move (only the index shifts); the erased entry's slot is recycled
+  // by a later insert.
+  bool erase(Addr key) {
+    DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key erased from AddrMap");
+    if (index_.empty()) return false;
+    if (key == memo_key_) {
+      memo_key_ = kEmptyKey;
+      memo_val_ = nullptr;
+    }
+    std::size_t pos = home_of(key);
+    for (;;) {
+      const IndexEnt& e = index_[pos];
+      if (e.key == key) break;
+      if (e.key == kEmptyKey) return false;
+      pos = (pos + 1) & mask_;
+    }
+    free_.push_back(index_[pos].slot);
+    // Walk the probe run after the hole; an entry moves back into the
+    // hole iff the hole lies on its own probe path (cyclically between
+    // its home position and where it sits).
+    std::size_t hole = pos;
+    std::size_t cur = (pos + 1) & mask_;
+    while (index_[cur].key != kEmptyKey) {
+      const std::size_t want = home_of(index_[cur].key);
+      if (((hole - want) & mask_) < ((cur - want) & mask_)) {
+        index_[hole] = index_[cur];
+        hole = cur;
+      }
+      cur = (cur + 1) & mask_;
+    }
+    index_[hole].key = kEmptyKey;
+    size_--;
+    return true;
+  }
+
+  // Deterministic snapshot iteration: visits entries sorted by address.
+  // fn(Addr, V&) may mutate values but must not insert or erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    std::vector<IndexEnt> snap = snapshot_sorted();
+    for (const IndexEnt& e : snap) fn(e.key, value_at(e.slot));
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<IndexEnt> snap = snapshot_sorted();
+    for (const IndexEnt& e : snap) fn(e.key, value_at(e.slot));
+  }
+
+  // Index-order scan, no allocation — for order-independent reductions
+  // on hot-ish paths (LRU victim scans). Deterministic for a given
+  // insert/erase history, but *not* address-sorted.
+  template <typename Fn>
+  void for_each_unordered(Fn&& fn) const {
+    for (const IndexEnt& e : index_)
+      if (e.key != kEmptyKey) fn(e.key, value_at(e.slot));
+  }
+
+  // Pre-size the index for an expected entry count (avoids growth
+  // rehashes in tables whose population is known up front).
+  void reserve(std::size_t entries) {
+    std::size_t cap = kMinCapacity;
+    while (cap < entries * 2) cap <<= 1;
+    if (cap > index_.size()) grow(cap);
+  }
+
+ private:
+  struct IndexEnt {
+    Addr key = kEmptyKey;
+    std::uint32_t slot = 0;
+  };
+
+  static constexpr std::size_t kMinCapacity = 64;
+  static constexpr unsigned kChunkBits = 8;  // 256 values per chunk
+  static constexpr std::size_t kChunkSize = std::size_t(1) << kChunkBits;
+
+  // Fibonacci hashing: multiply spreads low-entropy address keys (page
+  // and block numbers are small and sequential) across the top bits;
+  // the shift keeps exactly log2(capacity) of them.
+  std::size_t home_of(Addr key) const {
+    return std::size_t((key * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  V& value_at(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+  const V& value_at(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t take_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      value_at(slot) = V{};  // recycled slot starts fresh
+      return slot;
+    }
+    const std::uint32_t slot = high_water_;
+    if ((slot >> kChunkBits) == chunks_.size())
+      chunks_.push_back(std::make_unique<V[]>(kChunkSize));
+    high_water_++;
+    return slot;
+  }
+
+  void grow(std::size_t new_capacity) {
+    std::vector<IndexEnt> old = std::move(index_);
+    index_.assign(new_capacity, IndexEnt{});
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) shift_--;
+    for (const IndexEnt& e : old) {
+      if (e.key == kEmptyKey) continue;
+      std::size_t pos = home_of(e.key);
+      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
+      index_[pos] = e;
+    }
+  }
+
+  std::vector<IndexEnt> snapshot_sorted() const {
+    std::vector<IndexEnt> snap;
+    snap.reserve(size_);
+    for (const IndexEnt& e : index_)
+      if (e.key != kEmptyKey) snap.push_back(e);
+    std::sort(snap.begin(), snap.end(),
+              [](const IndexEnt& a, const IndexEnt& b) { return a.key < b.key; });
+    return snap;
+  }
+
+  std::vector<IndexEnt> index_;
+  std::vector<std::unique_ptr<V[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::uint32_t high_water_ = 0;
+  // One-entry lookup memo (values are chunk-stable, so moves of the
+  // whole map keep it valid; erase of the memoized key clears it).
+  Addr memo_key_ = kEmptyKey;
+  V* memo_val_ = nullptr;
+};
+
+// Inline-value companion to AddrMap for tiny trivially-copyable values
+// (a miss class, a counter): the value lives inside the index entry, so
+// a hit costs exactly one probe of one contiguous array — no chunk
+// indirection. In exchange there is no erase and no reference
+// stability: pointers returned by find() are invalidated by the next
+// insert. Use only where values are read/overwritten in place and never
+// held across mutation (the L1 per-block miss-class history).
+template <typename V>
+class AddrTable {
+ public:
+  static constexpr Addr kEmptyKey = ~Addr(0);
+
+  std::size_t size() const { return size_; }
+
+  V* find(Addr key) {
+    DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key probed in AddrTable");
+    if (index_.empty()) return nullptr;
+    std::size_t pos = home_of(key);
+    for (;;) {
+      Ent& e = index_[pos];
+      if (e.key == key) return &e.value;
+      if (e.key == kEmptyKey) return nullptr;
+      pos = (pos + 1) & mask_;
+    }
+  }
+  const V* find(Addr key) const {
+    return const_cast<AddrTable*>(this)->find(key);
+  }
+
+  // Insert-or-overwrite.
+  void put(Addr key, const V& value) {
+    V* v = nullptr;
+    put_if_absent(key, value, &v);
+    *v = value;
+  }
+
+  // Find-or-insert `absent` in a single probe; reports whether the key
+  // was newly added (the L1 classifier's "first touch" test — this runs
+  // on every L1 miss, so the probe run is walked exactly once).
+  bool put_if_absent(Addr key, const V& absent, V** out) {
+    DSM_DEBUG_ASSERT(key != kEmptyKey);
+    if (index_.empty()) grow(kMinCapacity);
+    std::size_t pos = home_of(key);
+    for (;;) {
+      Ent& e = index_[pos];
+      if (e.key == key) {
+        *out = &e.value;
+        return false;
+      }
+      if (e.key == kEmptyKey) break;
+      pos = (pos + 1) & mask_;
+    }
+    if ((size_ + 1) * 2 > index_.size()) {
+      grow(index_.size() * 2);
+      pos = home_of(key);
+      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
+    }
+    index_[pos].key = key;
+    index_[pos].value = absent;
+    size_++;
+    *out = &index_[pos].value;
+    return true;
+  }
+
+ private:
+  struct Ent {
+    Addr key = kEmptyKey;
+    V value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 64;
+
+  std::size_t home_of(Addr key) const {
+    return std::size_t((key * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  void grow(std::size_t new_capacity) {
+    std::vector<Ent> old = std::move(index_);
+    index_.assign(new_capacity, Ent{});
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) shift_--;
+    for (const Ent& e : old) {
+      if (e.key == kEmptyKey) continue;
+      std::size_t pos = home_of(e.key);
+      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
+      index_[pos] = e;
+    }
+  }
+
+  std::vector<Ent> index_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+};
+
+}  // namespace dsm

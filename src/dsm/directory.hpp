@@ -13,8 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 
+#include "common/addr_map.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 
@@ -37,26 +38,29 @@ struct DirEntry {
 
 class Directory {
  public:
+  // Flat-table find-or-insert. References stay valid across later
+  // inserts and across erases of *other* blocks (chunk-stable values).
   DirEntry& entry(Addr blk) { return entries_[blk]; }
 
-  const DirEntry* find(Addr blk) const {
-    auto it = entries_.find(blk);
-    return it == entries_.end() ? nullptr : &it->second;
-  }
+  DirEntry* find(Addr blk) { return entries_.find(blk); }
+  const DirEntry* find(Addr blk) const { return entries_.find(blk); }
 
   // Drop the entry (page migration moves directory state to the new
   // home after flushing everything; the fresh home starts kUncached).
+  // Backward-shift deletion: migration-heavy runs leave no tombstones.
   void erase(Addr blk) { entries_.erase(blk); }
 
   std::size_t size() const { return entries_.size(); }
 
+  // Sorted-by-block iteration — the coherence checker's walk order is
+  // identical on every standard library.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [blk, e] : entries_) fn(blk, e);
+    entries_.for_each(std::forward<Fn>(fn));
   }
 
  private:
-  std::unordered_map<Addr, DirEntry> entries_;
+  AddrMap<DirEntry> entries_;
 };
 
 }  // namespace dsm

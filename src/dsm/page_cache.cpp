@@ -1,17 +1,11 @@
 #include "dsm/page_cache.hpp"
 
-#include <algorithm>
-
 namespace dsm {
 
-PageCache::Frame* PageCache::find(Addr page) {
-  auto it = frames_.find(page);
-  return it == frames_.end() ? nullptr : &it->second;
-}
+PageCache::Frame* PageCache::find(Addr page) { return frames_.find(page); }
 
 const PageCache::Frame* PageCache::find(Addr page) const {
-  auto it = frames_.find(page);
-  return it == frames_.end() ? nullptr : &it->second;
+  return frames_.find(page);
 }
 
 void PageCache::touch(Addr page) {
@@ -29,22 +23,24 @@ PageCache::Frame& PageCache::allocate(Addr page) {
 
 Addr PageCache::pick_victim() const {
   DSM_ASSERT(!frames_.empty(), "pick_victim on empty page cache");
+  // LRU stamps are unique (one monotone clock), so the scan order does
+  // not affect the victim; the page tie-break keeps the choice pinned
+  // even if that ever changes.
   const Frame* best = nullptr;
   Addr best_page = 0;
-  for (const auto& [page, f] : frames_) {
+  frames_.for_each_unordered([&](Addr page, const Frame& f) {
     if (!best || f.lru < best->lru ||
         (f.lru == best->lru && page < best_page)) {
       best = &f;
       best_page = page;
     }
-  }
+  });
   return best_page;
 }
 
 void PageCache::release(Addr page) {
-  auto it = frames_.find(page);
-  DSM_ASSERT(it != frames_.end(), "release of absent frame");
-  frames_.erase(it);
+  const bool erased = frames_.erase(page);
+  DSM_ASSERT(erased, "release of absent frame");
 }
 
 }  // namespace dsm

@@ -11,8 +11,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 
+#include "common/addr_map.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "dsm/block_cache.hpp"
@@ -60,15 +61,17 @@ class PageCache {
   std::size_t frames_in_use() const { return frames_.size(); }
   std::uint64_t capacity() const { return capacity_; }
 
+  // Sorted-by-page sweep (reports, teardown): deterministic row order
+  // on every standard library.
   template <typename Fn>
   void for_each_frame(Fn&& fn) {
-    for (auto& [page, f] : frames_) fn(page, f);
+    frames_.for_each(std::forward<Fn>(fn));
   }
 
  private:
   std::uint64_t capacity_;
   std::uint64_t lru_clock_ = 0;
-  std::unordered_map<Addr, Frame> frames_;
+  AddrMap<Frame> frames_;
 };
 
 }  // namespace dsm

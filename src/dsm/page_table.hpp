@@ -16,9 +16,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
@@ -51,11 +51,12 @@ class PageTable {
     DSM_ASSERT(nodes_ <= kMaxNodes);
   }
 
+  // Flat-table lookup; the returned reference is stable for the page's
+  // lifetime (pages are never erased), so the deeply re-entrant access
+  // paths may hold it across nested inserts.
   PageInfo& info(Addr page) { return pages_[page]; }
-  const PageInfo* find(Addr page) const {
-    auto it = pages_.find(page);
-    return it == pages_.end() ? nullptr : &it->second;
-  }
+  PageInfo* find(Addr page) { return pages_.find(page); }
+  const PageInfo* find(Addr page) const { return pages_.find(page); }
 
   bool is_bound(Addr page) const {
     const PageInfo* pi = find(page);
@@ -65,16 +66,18 @@ class PageTable {
   std::uint32_t nodes() const { return nodes_; }
 
   // Iterate over all pages (counter resets, invariant checks, teardown).
+  // Visits pages sorted by address — report rows and checker walks are
+  // identical on every standard library.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [page, pi] : pages_) fn(page, pi);
+    pages_.for_each(std::forward<Fn>(fn));
   }
 
   std::size_t size() const { return pages_.size(); }
 
  private:
   std::uint32_t nodes_;
-  std::unordered_map<Addr, PageInfo> pages_;
+  AddrMap<PageInfo> pages_;
 };
 
 }  // namespace dsm

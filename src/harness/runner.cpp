@@ -1,8 +1,8 @@
 #include "harness/runner.hpp"
 
-#include <atomic>
-#include <thread>
+#include <chrono>
 
+#include "harness/parallel.hpp"
 #include "protocols/system_factory.hpp"
 #include "sim/engine.hpp"
 #include "workloads/workload.hpp"
@@ -10,6 +10,7 @@
 namespace dsm {
 
 RunResult run_one(const RunSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
   RunResult result;
   result.spec = spec;
   result.stats = Stats(spec.system.nodes);
@@ -40,28 +41,18 @@ RunResult run_one(const RunSpec& spec) {
   result.cycles = engine.finish_time();
   result.stats.execution_cycles = result.cycles;
   result.stats.total_cycles = result.cycles;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 
 std::vector<RunResult> run_matrix(const std::vector<RunSpec>& specs,
-                                  unsigned max_parallel) {
-  if (max_parallel == 0)
-    max_parallel = std::max(1u, std::thread::hardware_concurrency());
+                                  unsigned jobs) {
   std::vector<RunResult> results(specs.size());
-  std::vector<std::thread> pool;
-  std::atomic<std::size_t> next{0};
-  const unsigned workers =
-      unsigned(std::min<std::size_t>(max_parallel, specs.size()));
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= specs.size()) return;
-        results[i] = run_one(specs[i]);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  parallel_for_index(specs.size(), jobs,
+                     [&](std::size_t i) { results[i] = run_one(specs[i]); });
   return results;
 }
 

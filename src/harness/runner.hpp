@@ -32,6 +32,18 @@ struct RunResult {
   Stats stats{0};
   Cycle cycles = 0;  // simulated execution time
 
+  // Host-side throughput of the simulator itself (the perf trajectory):
+  // wall-clock seconds run_one took and simulated references processed.
+  // Purely observational — never feeds back into simulated results.
+  double wall_seconds = 0.0;
+
+  std::uint64_t sim_refs() const {
+    return stats.shared_reads + stats.shared_writes;
+  }
+  double events_per_sec() const {
+    return wall_seconds > 0 ? double(sim_refs()) / wall_seconds : 0.0;
+  }
+
   double normalized_to(const RunResult& baseline) const {
     return baseline.cycles == 0 ? 0.0
                                 : double(cycles) / double(baseline.cycles);
@@ -41,10 +53,12 @@ struct RunResult {
 // Run a single experiment. Deterministic for a given spec.
 RunResult run_one(const RunSpec& spec);
 
-// Run many experiments concurrently (one host thread per run, capped at
-// `max_parallel`; 0 = hardware concurrency).
+// Run many experiments concurrently on the sweep harness's thread pool
+// (harness/parallel.hpp): `jobs` workers, 0 = hardware concurrency,
+// 1 = serial. Each run owns an isolated simulator, so results are
+// bit-identical at every job count.
 std::vector<RunResult> run_matrix(const std::vector<RunSpec>& specs,
-                                  unsigned max_parallel = 0);
+                                  unsigned jobs = 0);
 
 // Convenience: the paper's base configuration for `kind` running `app`.
 RunSpec paper_spec(SystemKind kind, const std::string& app,

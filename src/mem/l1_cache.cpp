@@ -40,7 +40,7 @@ L1Cache::Victim L1Cache::install(Addr blk, L1State state) {
     v.valid = true;
     v.blk = ln.blk;
     v.state = ln.state;
-    next_miss_class_[ln.blk] = MissClass::kCapacity;
+    next_miss_class_.put(ln.blk, MissClass::kCapacity);
   }
   ln.blk = blk;
   ln.state = state;
@@ -51,7 +51,7 @@ void L1Cache::invalidate(Addr blk, MissClass reason) {
   Line* ln = probe(blk);
   if (!ln) return;
   ln->state = L1State::kI;
-  next_miss_class_[blk] = reason;
+  next_miss_class_.put(blk, reason);
 }
 
 void L1Cache::downgrade_to_shared(Addr blk) {
@@ -67,10 +67,10 @@ void L1Cache::set_state(Addr blk, L1State s) {
 }
 
 MissClass L1Cache::classify_miss(Addr blk) {
-  auto [it, inserted] =
-      next_miss_class_.try_emplace(blk, MissClass::kCapacity);
-  if (inserted) return MissClass::kCold;
-  return it->second;
+  MissClass* cls = nullptr;
+  if (next_miss_class_.put_if_absent(blk, MissClass::kCapacity, &cls))
+    return MissClass::kCold;
+  return *cls;
 }
 
 }  // namespace dsm

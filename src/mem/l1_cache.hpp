@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -89,7 +89,10 @@ class L1Cache {
   std::uint32_t n_sets_;
   std::vector<Line> lines_;
   // Block -> classification of its *next* miss. Absent = never seen.
-  std::unordered_map<Addr, MissClass> next_miss_class_;
+  // Touched on every L1 miss, eviction and invalidation — the single
+  // hottest address-keyed table in the simulator, so it uses the
+  // inline-value flat table.
+  AddrTable<MissClass> next_miss_class_;
 };
 
 }  // namespace dsm

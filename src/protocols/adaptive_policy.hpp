@@ -30,8 +30,7 @@
 // exponentially harder, suppressing ping-pong.
 #pragma once
 
-#include <unordered_map>
-
+#include "common/addr_map.hpp"
 #include "protocols/policy_engine.hpp"
 
 namespace dsm {
@@ -66,7 +65,7 @@ class AdaptivePolicy final : public Policy {
   DsmSystem* sys_;
   bool relocation_ok_;  // substrate has a real S-COMA page cache
   std::uint64_t epoch_ = 0;
-  std::unordered_map<Addr, AdaptState> state_;
+  AddrMap<AdaptState> state_;
 };
 
 }  // namespace dsm

@@ -49,8 +49,7 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
       // moment of displacement.
       const Addr displaced = counter_cache_[pi.home].touch(ev.page);
       if (displaced != CounterCache::kNoPage) {
-        auto it = obs_.find(displaced);
-        if (it != obs_.end()) it->second.reset_migrep_counters();
+        if (PageObs* d = obs_.find(displaced)) d->reset_migrep_counters();
       }
       if (ev.is_write)
         obs.write_miss_ctr[ev.node]++;

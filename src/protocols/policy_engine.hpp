@@ -30,11 +30,10 @@
 #pragma once
 
 #include <array>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -133,48 +132,93 @@ struct PageObs {
 // page of memory). touch() returns the page whose counters were evicted
 // to make room, if any; the engine then clears that page's observation
 // counters — the information loss the paper's sensitivity study models.
+//
+// Intrusive array-linked LRU: recency is a doubly-linked list threaded
+// through a fixed node array by *index* (no per-entry allocation, no
+// pointer chasing into list nodes), and an AddrMap maps page -> node
+// index (one open-addressing implementation in the tree, not two).
+// Everything is sized once in the constructor; steady-state touch
+// allocates nothing (the map is pre-reserved and its population is
+// bounded by the capacity, so it never rehashes). Displacement
+// semantics are unchanged: the victim is always the list tail (locked
+// by the Section 6.4 regression test).
 class CounterCache {
  public:
-  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {}
+  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {
+    if (unlimited()) return;
+    nodes_.resize(capacity_);
+    index_.reserve(capacity_);
+  }
 
   bool unlimited() const { return capacity_ == 0; }
 
-  // Returns the evicted page, or kNoPage if none was displaced.
-  // O(1): recency is an intrusive list (front = MRU), the map holds
-  // list iterators, and the victim is always the list tail.
+  // Returns the evicted page, or kNoPage if none was displaced. O(1).
   static constexpr Addr kNoPage = ~Addr(0);
   Addr touch(Addr page) {
     if (unlimited()) return kNoPage;
-    auto it = map_.find(page);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    if (const std::uint32_t* n = index_.find(page)) {
+      move_to_front(*n);
       return kNoPage;
     }
-    lru_.push_front(page);
-    map_.emplace(page, lru_.begin());
-    if (map_.size() <= capacity_) return kNoPage;
-    const Addr evicted = lru_.back();
-    lru_.pop_back();
-    map_.erase(evicted);
-    evictions_++;
+    Addr evicted = kNoPage;
+    std::uint32_t node;
+    if (used_ < capacity_) {
+      node = used_++;
+    } else {
+      // Full: recycle the LRU tail for the incoming page.
+      node = tail_;
+      evicted = nodes_[node].page;
+      index_.erase(evicted);
+      unlink(node);
+      evictions_++;
+    }
+    nodes_[node].page = page;
+    link_front(node);
+    index_[page] = node;
     return evicted;
   }
 
   std::uint64_t evictions() const { return evictions_; }
-  std::size_t size() const { return map_.size(); }
-
-  // The recency map holds iterators into lru_: moves keep them valid,
-  // copies would not. The engine stores these in vectors sized once.
-  CounterCache(CounterCache&&) = default;
-  CounterCache& operator=(CounterCache&&) = default;
-  CounterCache(const CounterCache&) = delete;
-  CounterCache& operator=(const CounterCache&) = delete;
+  std::size_t size() const { return used_; }
 
  private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t(0);
+
+  struct Node {
+    Addr page = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  void unlink(std::uint32_t n) {
+    Node& nd = nodes_[n];
+    if (nd.prev != kNil) nodes_[nd.prev].next = nd.next;
+    if (nd.next != kNil) nodes_[nd.next].prev = nd.prev;
+    if (head_ == n) head_ = nd.next;
+    if (tail_ == n) tail_ = nd.prev;
+    nd.prev = nd.next = kNil;
+  }
+  void link_front(std::uint32_t n) {
+    Node& nd = nodes_[n];
+    nd.prev = kNil;
+    nd.next = head_;
+    if (head_ != kNil) nodes_[head_].prev = n;
+    head_ = n;
+    if (tail_ == kNil) tail_ = n;
+  }
+  void move_to_front(std::uint32_t n) {
+    if (head_ == n) return;
+    unlink(n);
+    link_front(n);
+  }
+
   std::uint32_t capacity_;
   std::uint64_t evictions_ = 0;
-  std::list<Addr> lru_;  // front = most recently touched
-  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+  std::uint32_t used_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::vector<Node> nodes_;
+  AddrMap<std::uint32_t> index_;  // page -> nodes_ index
 };
 
 // ---------------------------------------------------------------------------
@@ -223,10 +267,7 @@ class PolicyEngine {
 
   // --- observation-state introspection (policies, tests) ------------------
   PageObs& obs(Addr page) { return obs_[page]; }
-  const PageObs* find_obs(Addr page) const {
-    auto it = obs_.find(page);
-    return it == obs_.end() ? nullptr : &it->second;
-  }
+  const PageObs* find_obs(Addr page) const { return obs_.find(page); }
   CounterCache& counter_cache(NodeId home) { return counter_cache_[home]; }
   std::uint64_t events_dispatched() const { return events_; }
   std::uint64_t epoch() const { return epoch_; }
@@ -240,7 +281,7 @@ class PolicyEngine {
   const SystemConfig* cfg_;
   Stats* stats_;
   std::vector<std::unique_ptr<Policy>> policies_;
-  std::unordered_map<Addr, PageObs> obs_;
+  AddrMap<PageObs> obs_;
   std::vector<CounterCache> counter_cache_;  // per home node
   std::uint64_t events_ = 0;      // page events absorbed (ticks excluded)
   std::uint64_t epoch_ = 0;

@@ -2,6 +2,9 @@
 // (Interconnect fabric timing and accounting live in fabric_test.cpp.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/config.hpp"
 #include "dsm/block_cache.hpp"
 #include "dsm/directory.hpp"
@@ -73,6 +76,69 @@ TEST(BlockCache, ForEachBlockOfPage) {
   EXPECT_EQ(n, 2);
 }
 
+TEST(BlockCache, ForEachBlockOfPageTinyCache) {
+  // Fewer sets than blocks per page: the set-localized walk must wrap
+  // and still visit each resident block exactly once.
+  BlockCache bc(2 * 1024, 2);  // 16 sets, 2 ways
+  const Addr page = 5;
+  bc.install(block_of(block_addr_of_page_block(page, 0)), NodeState::kShared);
+  bc.install(block_of(block_addr_of_page_block(page, 17)), NodeState::kShared);
+  bc.install(block_of(block_addr_of_page_block(page + 2, 3)),
+             NodeState::kShared);
+  std::vector<Addr> seen;
+  bc.for_each_block_of_page(page, [&](BlockCache::Entry& e) {
+    seen.push_back(e.blk);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen[0], block_of(block_addr_of_page_block(page, 0)));
+  EXPECT_EQ(seen[1], block_of(block_addr_of_page_block(page, 17)));
+}
+
+TEST(BlockCache, InfiniteCongruentAddressesStayBounded) {
+  // Blocks congruent in every power-of-two set count (distinct high
+  // bits only) must spill within the table instead of forcing endless
+  // set doubling — memory tracks resident blocks, not address span.
+  BlockCache bc(64, 0);
+  constexpr int kN = 64;  // far more than one home window holds
+  for (int j = 0; j < kN; ++j) {
+    auto v = bc.install(Addr(j) << 40, NodeState::kShared);
+    EXPECT_FALSE(v.valid);
+  }
+  EXPECT_EQ(bc.occupancy(), std::uint64_t(kN));
+  for (int j = 0; j < kN; ++j)
+    EXPECT_NE(bc.probe(Addr(j) << 40), nullptr) << j;
+  bc.invalidate(Addr(5) << 40);
+  EXPECT_EQ(bc.probe(Addr(5) << 40), nullptr);
+  bc.install(Addr(5) << 40, NodeState::kModified);
+  ASSERT_NE(bc.probe(Addr(5) << 40), nullptr);
+  EXPECT_EQ(bc.probe(Addr(5) << 40)->state, NodeState::kModified);
+  EXPECT_EQ(bc.occupancy(), std::uint64_t(kN));
+}
+
+TEST(BlockCache, InfiniteGrowthPreservesContents) {
+  // Push far past the initial set capacity: the growable infinite shape
+  // must keep every block probeable across splits.
+  BlockCache bc(64, 0);
+  constexpr Addr kBlocks = 100000;
+  for (Addr b = 0; b < kBlocks; ++b) {
+    auto v = bc.install(b, b % 3 ? NodeState::kShared : NodeState::kModified);
+    EXPECT_FALSE(v.valid);
+  }
+  EXPECT_EQ(bc.occupancy(), kBlocks);
+  for (Addr b = 0; b < kBlocks; b += 997) {
+    const BlockCache::Entry* e = bc.probe(b);
+    ASSERT_NE(e, nullptr) << b;
+    EXPECT_EQ(e->state, b % 3 ? NodeState::kShared : NodeState::kModified);
+  }
+  // Invalidate + refill survives growth too.
+  bc.invalidate(12345);
+  EXPECT_EQ(bc.probe(12345), nullptr);
+  bc.install(12345, NodeState::kShared);
+  ASSERT_NE(bc.probe(12345), nullptr);
+  EXPECT_EQ(bc.occupancy(), kBlocks);
+}
+
 TEST(PageCache, AllocateFindRelease) {
   PageCache pc(2);
   EXPECT_TRUE(pc.has_free_frame());
@@ -126,6 +192,35 @@ TEST(PageTable, FirstTouchBinding) {
   pt.info(7).home = 3;
   EXPECT_TRUE(pt.is_bound(7));
   EXPECT_EQ(pt.find(7)->home, 3u);
+}
+
+// Report rows and coherence-check walks follow container iteration
+// order; these pins keep it sorted-by-address on every stdlib.
+TEST(PageTable, ForEachIsSortedByPage) {
+  PageTable pt(8);
+  for (Addr p : {Addr(77), Addr(3), Addr(4096), Addr(512), Addr(1)})
+    pt.info(p).home = 0;
+  std::vector<Addr> order;
+  pt.for_each([&](Addr p, PageInfo&) { order.push_back(p); });
+  EXPECT_EQ(order, (std::vector<Addr>{1, 3, 77, 512, 4096}));
+}
+
+TEST(Directory, ForEachIsSortedByBlock) {
+  Directory d;
+  for (Addr b : {Addr(900), Addr(2), Addr(64), Addr(33)})
+    d.entry(b).state = DirState::kShared;
+  d.erase(64);
+  std::vector<Addr> order;
+  d.for_each([&](Addr b, DirEntry&) { order.push_back(b); });
+  EXPECT_EQ(order, (std::vector<Addr>{2, 33, 900}));
+}
+
+TEST(PageCache, ForEachFrameIsSortedByPage) {
+  PageCache pc(0);
+  for (Addr p : {Addr(42), Addr(7), Addr(1000), Addr(8)}) pc.allocate(p);
+  std::vector<Addr> order;
+  pc.for_each_frame([&](Addr p, PageCache::Frame&) { order.push_back(p); });
+  EXPECT_EQ(order, (std::vector<Addr>{7, 8, 42, 1000}));
 }
 
 TEST(PageTable, InfoStartsUnbound) {
