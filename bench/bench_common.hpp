@@ -41,6 +41,11 @@ struct Options {
   // Sweep-harness worker count (--jobs N; 0 = hardware concurrency,
   // 1 = serial).
   unsigned jobs = 0;
+  // Home-sharded engine (--shards N; 0 = serial engine, the default)
+  // and its drive mode (--shard-threads inline|threads|auto). Results
+  // are bit-identical at every shard count and drive mode.
+  std::uint32_t shards = 0;
+  SystemConfig::ShardThreads shard_threads = SystemConfig::ShardThreads::kAuto;
   // The worker count actually used (what the throughput fields were
   // measured under — per-run wall time includes contention from
   // sibling workers, so jobs context is part of the measurement).
@@ -55,6 +60,8 @@ struct Options {
       sc.timing.mesh_link_bytes_per_cycle = link_bw;
     sc.policy = policy;
     if (adaptive_k != 0) sc.timing.adaptive_k = adaptive_k;
+    sc.shards = shards;
+    sc.shard_threads = shard_threads;
   }
   bool routed_fabric() const { return fabric != FabricKind::kNiConstant; }
 };
@@ -106,6 +113,35 @@ inline Options parse(int argc, char** argv) {
         std::exit(2);
       }
       o.jobs = unsigned(v);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v > 1u << 10) {
+        std::fprintf(stderr,
+                     "bad --shards '%s' (expected a home-shard count; 0 = "
+                     "serial engine)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.shards = std::uint32_t(v);
+    }
+    if (std::strcmp(argv[i], "--shard-threads") == 0 && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "inline") {
+        o.shard_threads = SystemConfig::ShardThreads::kInline;
+      } else if (m == "threads") {
+        o.shard_threads = SystemConfig::ShardThreads::kThreaded;
+      } else if (m == "auto") {
+        o.shard_threads = SystemConfig::ShardThreads::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --shard-threads '%s' (expected "
+                     "inline|threads|auto)\n",
+                     m.c_str());
+        std::exit(2);
+      }
     }
     if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       const std::string p = argv[++i];

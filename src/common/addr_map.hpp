@@ -9,8 +9,11 @@
 //   * an open-addressing index — power-of-two capacity, multiplicative
 //     (Fibonacci) hashing, linear probing, grown at 1/2 load (the
 //     directory is probed for *absent* blocks constantly; low load
-//     keeps unsuccessful probes short). A probe touches one contiguous
-//     cache line of {key, slot} pairs instead of a bucket chain.
+//     keeps unsuccessful probes short). The index is stored SoA: the
+//     key array is separate from the slot-metadata array, so a probe
+//     walks a dense run of 8-byte keys — twice the keys per cache line
+//     of the old {key, slot} pair layout — and the slot array is only
+//     touched once, on the hit.
 //   * tombstone-free erase — backward-shift deletion keeps probe
 //     sequences dense, so long-running erase-heavy tables (the
 //     directory under page migration) never degrade the way
@@ -26,6 +29,12 @@
 //     sorted by address, so report rows and coherence-check walks are
 //     identical across standard libraries (unordered_map bucket order
 //     is not).
+//   * optional arena backing — the index arrays, the slot free list and
+//     the value chunks allocate from a std::pmr::memory_resource
+//     (common/arena.hpp: the per-run bump arena), so a run's tables
+//     make one upstream reservation and free it in bulk at teardown.
+//     Index arrays abandoned by growth rehashes stay resident until
+//     then; that is the arena's documented trade.
 //
 // The table never stores key ~0 (kNoPage / kNoAddr sentinels).
 #pragma once
@@ -33,6 +42,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
@@ -46,12 +56,40 @@ class AddrMap {
  public:
   static constexpr Addr kEmptyKey = ~Addr(0);
 
-  AddrMap() = default;
+  explicit AddrMap(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : mem_(mem), keys_(mem), slots_(mem), chunks_(mem), free_(mem) {}
+
+  ~AddrMap() { destroy_chunks(); }
 
   // Movable (the engine keeps AddrMaps inside owning objects that move);
-  // copying a table of mechanism state is never intended.
-  AddrMap(AddrMap&&) noexcept = default;
-  AddrMap& operator=(AddrMap&&) noexcept = default;
+  // copying a table of mechanism state is never intended, and nothing
+  // move-assigns a table (pmr allocators do not propagate on move
+  // assignment, so a defaulted one would silently deep-copy).
+  AddrMap(AddrMap&& o) noexcept
+      : mem_(o.mem_),
+        keys_(std::move(o.keys_)),
+        slots_(std::move(o.slots_)),
+        chunks_(std::move(o.chunks_)),
+        free_(std::move(o.free_)),
+        size_(o.size_),
+        mask_(o.mask_),
+        shift_(o.shift_),
+        high_water_(o.high_water_),
+        memo_key_(o.memo_key_),
+        memo_val_(o.memo_val_) {
+    o.chunks_.clear();
+    o.keys_.clear();
+    o.slots_.clear();
+    o.free_.clear();
+    o.size_ = 0;
+    o.mask_ = 0;
+    o.shift_ = 64;
+    o.high_water_ = 0;
+    o.memo_key_ = kEmptyKey;
+    o.memo_val_ = nullptr;
+  }
+  AddrMap& operator=(AddrMap&&) = delete;
   AddrMap(const AddrMap&) = delete;
   AddrMap& operator=(const AddrMap&) = delete;
 
@@ -65,16 +103,16 @@ class AddrMap {
     // references are chunk-stable, so the memo survives inserts and
     // only an erase of the memoized key clears it.
     if (key == memo_key_) return memo_val_;
-    if (index_.empty()) return nullptr;
+    if (keys_.empty()) return nullptr;
     std::size_t pos = home_of(key);
     for (;;) {
-      const IndexEnt& e = index_[pos];
-      if (e.key == key) {
+      const Addr k = keys_[pos];
+      if (k == key) {
         memo_key_ = key;
-        memo_val_ = &value_at(e.slot);
+        memo_val_ = &value_at(slots_[pos]);
         return memo_val_;
       }
-      if (e.key == kEmptyKey) return nullptr;
+      if (k == kEmptyKey) return nullptr;
       pos = (pos + 1) & mask_;
     }
   }
@@ -82,12 +120,12 @@ class AddrMap {
   // probe, safe on a table shared read-only between sweep workers.
   const V* find(Addr key) const {
     DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key probed in AddrMap");
-    if (index_.empty()) return nullptr;
+    if (keys_.empty()) return nullptr;
     std::size_t pos = home_of(key);
     for (;;) {
-      const IndexEnt& e = index_[pos];
-      if (e.key == key) return &value_at(e.slot);
-      if (e.key == kEmptyKey) return nullptr;
+      const Addr k = keys_[pos];
+      if (k == key) return &value_at(slots_[pos]);
+      if (k == kEmptyKey) return nullptr;
       pos = (pos + 1) & mask_;
     }
   }
@@ -97,26 +135,27 @@ class AddrMap {
   V& operator[](Addr key) {
     DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key inserted into AddrMap");
     if (key == memo_key_) return *memo_val_;
-    if (index_.empty()) grow(kMinCapacity);
+    if (keys_.empty()) grow(kMinCapacity);
     std::size_t pos = home_of(key);
     for (;;) {
-      IndexEnt& e = index_[pos];
-      if (e.key == key) {
+      const Addr k = keys_[pos];
+      if (k == key) {
         memo_key_ = key;
-        memo_val_ = &value_at(e.slot);
+        memo_val_ = &value_at(slots_[pos]);
         return *memo_val_;
       }
-      if (e.key == kEmptyKey) break;
+      if (k == kEmptyKey) break;
       pos = (pos + 1) & mask_;
     }
-    if ((size_ + 1) * 2 > index_.size()) {
-      grow(index_.size() * 2);
+    if ((size_ + 1) * 2 > keys_.size()) {
+      grow(keys_.size() * 2);
       // Rehash moved the probe window; find the fresh empty position.
       pos = home_of(key);
-      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
+      while (keys_[pos] != kEmptyKey) pos = (pos + 1) & mask_;
     }
     const std::uint32_t slot = take_slot();
-    index_[pos] = IndexEnt{key, slot};
+    keys_[pos] = key;
+    slots_[pos] = slot;
     size_++;
     memo_key_ = key;
     memo_val_ = &value_at(slot);
@@ -129,33 +168,34 @@ class AddrMap {
   // by a later insert.
   bool erase(Addr key) {
     DSM_DEBUG_ASSERT(key != kEmptyKey, "sentinel key erased from AddrMap");
-    if (index_.empty()) return false;
+    if (keys_.empty()) return false;
     if (key == memo_key_) {
       memo_key_ = kEmptyKey;
       memo_val_ = nullptr;
     }
     std::size_t pos = home_of(key);
     for (;;) {
-      const IndexEnt& e = index_[pos];
-      if (e.key == key) break;
-      if (e.key == kEmptyKey) return false;
+      const Addr k = keys_[pos];
+      if (k == key) break;
+      if (k == kEmptyKey) return false;
       pos = (pos + 1) & mask_;
     }
-    free_.push_back(index_[pos].slot);
+    free_.push_back(slots_[pos]);
     // Walk the probe run after the hole; an entry moves back into the
     // hole iff the hole lies on its own probe path (cyclically between
     // its home position and where it sits).
     std::size_t hole = pos;
     std::size_t cur = (pos + 1) & mask_;
-    while (index_[cur].key != kEmptyKey) {
-      const std::size_t want = home_of(index_[cur].key);
+    while (keys_[cur] != kEmptyKey) {
+      const std::size_t want = home_of(keys_[cur]);
       if (((hole - want) & mask_) < ((cur - want) & mask_)) {
-        index_[hole] = index_[cur];
+        keys_[hole] = keys_[cur];
+        slots_[hole] = slots_[cur];
         hole = cur;
       }
       cur = (cur + 1) & mask_;
     }
-    index_[hole].key = kEmptyKey;
+    keys_[hole] = kEmptyKey;
     size_--;
     return true;
   }
@@ -164,13 +204,13 @@ class AddrMap {
   // fn(Addr, V&) may mutate values but must not insert or erase.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    std::vector<IndexEnt> snap = snapshot_sorted();
-    for (const IndexEnt& e : snap) fn(e.key, value_at(e.slot));
+    std::vector<std::pair<Addr, std::uint32_t>> snap = snapshot_sorted();
+    for (const auto& [key, slot] : snap) fn(key, value_at(slot));
   }
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    std::vector<IndexEnt> snap = snapshot_sorted();
-    for (const IndexEnt& e : snap) fn(e.key, value_at(e.slot));
+    std::vector<std::pair<Addr, std::uint32_t>> snap = snapshot_sorted();
+    for (const auto& [key, slot] : snap) fn(key, value_at(slot));
   }
 
   // Index-order scan, no allocation — for order-independent reductions
@@ -178,8 +218,8 @@ class AddrMap {
   // insert/erase history, but *not* address-sorted.
   template <typename Fn>
   void for_each_unordered(Fn&& fn) const {
-    for (const IndexEnt& e : index_)
-      if (e.key != kEmptyKey) fn(e.key, value_at(e.slot));
+    for (std::size_t pos = 0; pos < keys_.size(); ++pos)
+      if (keys_[pos] != kEmptyKey) fn(keys_[pos], value_at(slots_[pos]));
   }
 
   // Pre-size the index for an expected entry count (avoids growth
@@ -187,15 +227,13 @@ class AddrMap {
   void reserve(std::size_t entries) {
     std::size_t cap = kMinCapacity;
     while (cap < entries * 2) cap <<= 1;
-    if (cap > index_.size()) grow(cap);
+    if (cap > keys_.size()) grow(cap);
   }
 
- private:
-  struct IndexEnt {
-    Addr key = kEmptyKey;
-    std::uint32_t slot = 0;
-  };
+  // The resource backing this table (tables hand it on to members).
+  std::pmr::memory_resource* memory_resource() const { return mem_; }
 
+ private:
   static constexpr std::size_t kMinCapacity = 64;
   static constexpr unsigned kChunkBits = 8;  // 256 values per chunk
   static constexpr std::size_t kChunkSize = std::size_t(1) << kChunkBits;
@@ -222,39 +260,57 @@ class AddrMap {
       return slot;
     }
     const std::uint32_t slot = high_water_;
-    if ((slot >> kChunkBits) == chunks_.size())
-      chunks_.push_back(std::make_unique<V[]>(kChunkSize));
+    if ((slot >> kChunkBits) == chunks_.size()) {
+      V* chunk =
+          static_cast<V*>(mem_->allocate(kChunkSize * sizeof(V), alignof(V)));
+      std::uninitialized_value_construct_n(chunk, kChunkSize);
+      chunks_.push_back(chunk);
+    }
     high_water_++;
     return slot;
   }
 
+  void destroy_chunks() {
+    for (V* chunk : chunks_) {
+      std::destroy_n(chunk, kChunkSize);
+      mem_->deallocate(chunk, kChunkSize * sizeof(V), alignof(V));
+    }
+    chunks_.clear();
+  }
+
   void grow(std::size_t new_capacity) {
-    std::vector<IndexEnt> old = std::move(index_);
-    index_.assign(new_capacity, IndexEnt{});
+    std::pmr::vector<Addr> old_keys = std::move(keys_);
+    std::pmr::vector<std::uint32_t> old_slots = std::move(slots_);
+    keys_.assign(new_capacity, kEmptyKey);
+    slots_.assign(new_capacity, 0);
     mask_ = new_capacity - 1;
     shift_ = 64;
     for (std::size_t c = new_capacity; c > 1; c >>= 1) shift_--;
-    for (const IndexEnt& e : old) {
-      if (e.key == kEmptyKey) continue;
-      std::size_t pos = home_of(e.key);
-      while (index_[pos].key != kEmptyKey) pos = (pos + 1) & mask_;
-      index_[pos] = e;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      const Addr k = old_keys[i];
+      if (k == kEmptyKey) continue;
+      std::size_t pos = home_of(k);
+      while (keys_[pos] != kEmptyKey) pos = (pos + 1) & mask_;
+      keys_[pos] = k;
+      slots_[pos] = old_slots[i];
     }
   }
 
-  std::vector<IndexEnt> snapshot_sorted() const {
-    std::vector<IndexEnt> snap;
+  std::vector<std::pair<Addr, std::uint32_t>> snapshot_sorted() const {
+    std::vector<std::pair<Addr, std::uint32_t>> snap;
     snap.reserve(size_);
-    for (const IndexEnt& e : index_)
-      if (e.key != kEmptyKey) snap.push_back(e);
-    std::sort(snap.begin(), snap.end(),
-              [](const IndexEnt& a, const IndexEnt& b) { return a.key < b.key; });
+    for (std::size_t pos = 0; pos < keys_.size(); ++pos)
+      if (keys_[pos] != kEmptyKey) snap.emplace_back(keys_[pos], slots_[pos]);
+    std::sort(snap.begin(), snap.end());
     return snap;
   }
 
-  std::vector<IndexEnt> index_;
-  std::vector<std::unique_ptr<V[]>> chunks_;
-  std::vector<std::uint32_t> free_;
+  std::pmr::memory_resource* mem_;
+  // SoA index: parallel arrays, probes touch keys_ only until the hit.
+  std::pmr::vector<Addr> keys_;
+  std::pmr::vector<std::uint32_t> slots_;
+  std::pmr::vector<V*> chunks_;  // fixed-size value chunks, never moved
+  std::pmr::vector<std::uint32_t> free_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
   unsigned shift_ = 64;

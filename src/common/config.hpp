@@ -119,6 +119,13 @@ struct TimingConfig {
   // many absorbed page events (0 disables ticks). Adaptive hysteresis
   // decays one level per elapsed epoch.
   std::uint64_t policy_epoch_events = 8192;
+  // Per-epoch aging of the per-page remote-byte ledger: every slot of
+  // PageObs::remote_bytes is halved this many times per elapsed epoch
+  // (applied lazily on the page's next event), so stale history cannot
+  // trigger late page ops. 0 disables decay (the pre-PR-6 behavior).
+  // Only the adaptive engine reads the ledger; the MigRep/R-NUMA golden
+  // decisions are unaffected by this knob.
+  std::uint32_t policy_ledger_decay_shift = 1;
   // Traffic-competitive adaptive policy: a page op fires once a page's
   // accumulated remote bytes exceed adaptive_k x the modeled page-move
   // byte cost (the classic competitive threshold; k = 1 is break-even
@@ -190,6 +197,19 @@ struct SystemConfig {
   // Scheduling quantum for the execution-driven engine; bounded by the
   // network latency as in the Wisconsin Wind Tunnel.
   Cycle quantum = 80;
+
+  // Home-sharded engine (sim/sharded_engine.hpp): number of shards the
+  // node set is partitioned into. 0 = the serial engine (default);
+  // N >= 1 selects the sharded engine, clamped to the node count.
+  // Results are bit-identical at every shard count.
+  std::uint32_t shards = 0;
+  // How sharded shard turns are driven: kAuto picks threads when the
+  // host has more than one hardware thread, kInline steps every shard
+  // turn on the calling thread (same protocol, no thread handoff —
+  // what single-core hosts and the parity sweep want), kThreaded pins
+  // one worker thread per shard (what the TSan job exercises).
+  enum class ShardThreads : std::uint8_t { kAuto = 0, kInline, kThreaded };
+  ShardThreads shard_threads = ShardThreads::kAuto;
 
   std::uint64_t seed = 0x5eed5eedULL;
 

@@ -15,6 +15,19 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
+  // Independent deterministic stream `stream_id` of `seed`: one
+  // splitmix64 round folds the stream id into the seed before state
+  // expansion, so streams are decorrelated and the sequence depends
+  // only on (seed, stream_id) — not on who draws it or in what order
+  // streams are created (the sharded engine keys streams by home node
+  // so every shard count replays identical per-home sequences).
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream_id) {
+    std::uint64_t z = seed + stream_id * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
   void reseed(std::uint64_t seed) {
     // splitmix64 expansion of the seed into the xoshiro state.
     std::uint64_t x = seed;

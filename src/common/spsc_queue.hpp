@@ -1,0 +1,115 @@
+// Bounded single-producer / single-consumer ring for cross-shard
+// messages (sim/sharded_engine.hpp).
+//
+// The sharded engine gives every ordered shard pair (i -> j) its own
+// queue, so each ring has exactly one producer (shard i's turn) and one
+// consumer (shard j's turn). Capacity is fixed at construction and
+// sized to the worst case (every CPU can have at most one pending wake,
+// see the engine's protocol notes), so push never fails in practice and
+// the steady state allocates nothing.
+//
+// Memory ordering: push releases after the slot write, pop/drain
+// acquires before the slot read — the standard Lamport ring. The extra
+// peek_each() entry point is for the engine's end-of-window scan: it
+// reads entries without consuming them and is safe *only* while the
+// producer is quiescent (in the baton protocol, the scanning thread has
+// already observed every producer's turn end through the baton's
+// release/acquire chain).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+
+#include "common/log.hpp"
+
+namespace dsm {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two; `mem` backs the slot
+  // array (a run arena or the default heap).
+  explicit SpscQueue(
+      std::size_t capacity,
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : mem_(mem) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = static_cast<T*>(mem_->allocate(cap * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < cap; ++i) new (buf_ + i) T{};
+  }
+  ~SpscQueue() {
+    if (!buf_) return;
+    for (std::size_t i = 0; i <= mask_; ++i) buf_[i].~T();
+    mem_->deallocate(buf_, (mask_ + 1) * sizeof(T), alignof(T));
+  }
+
+  SpscQueue(SpscQueue&& o) noexcept
+      : mem_(o.mem_), buf_(o.buf_), mask_(o.mask_),
+        head_(o.head_.load(std::memory_order_relaxed)),
+        tail_(o.tail_.load(std::memory_order_relaxed)) {
+    o.buf_ = nullptr;
+  }
+  SpscQueue& operator=(SpscQueue&&) = delete;
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false when full (the engine sizes rings so
+  // this cannot happen and asserts on it).
+  bool push(const T& v) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t > mask_) return false;
+    buf_[h & mask_] = v;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const {
+    return std::size_t(head_.load(std::memory_order_acquire) -
+                       tail_.load(std::memory_order_acquire));
+  }
+
+  // Consumer side: pop everything currently visible, in FIFO order.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    while (t != h) {
+      fn(buf_[t & mask_]);
+      ++t;
+    }
+    tail_.store(t, std::memory_order_release);
+  }
+
+  // Non-consuming FIFO scan. Producer must be quiescent (see header).
+  template <typename Fn>
+  void peek_each(Fn&& fn) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t t = tail_.load(std::memory_order_acquire);
+    while (t != h) {
+      fn(buf_[t & mask_]);
+      ++t;
+    }
+  }
+
+ private:
+  std::pmr::memory_resource* mem_;
+  T* buf_ = nullptr;
+  std::size_t mask_ = 0;
+  // Producer writes head_, consumer writes tail_; both are read by the
+  // other side, so they sit on separate cache lines.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace dsm

@@ -37,7 +37,8 @@ const char* to_string(DirState s) {
 DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
     : cfg_(cfg),
       stats_(stats),
-      pt_(cfg.nodes),
+      pt_(cfg.nodes, &arena_),
+      dir_(&arena_),
       net_(make_fabric(cfg_, stats)),
       bus_(cfg.nodes),
       device_(cfg.nodes) {
@@ -55,10 +56,11 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
   for (NodeId n = 0; n < cfg.nodes; ++n) {
     bc_.push_back(std::make_unique<BlockCache>(
         cfg.block_cache_bytes, infinite_bc ? 0u : 1u));
-    pc_.push_back(std::make_unique<PageCache>(has_pc ? pc_pages : 1));
+    pc_.push_back(
+        std::make_unique<PageCache>(has_pc ? pc_pages : 1, &arena_));
     history_.emplace_back(cfg.node_history_entries);
   }
-  engine_ = std::make_unique<PolicyEngine>(cfg_, stats_);
+  engine_ = std::make_unique<PolicyEngine>(cfg_, stats_, &arena_);
 }
 
 DsmSystem::~DsmSystem() = default;

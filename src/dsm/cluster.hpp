@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -139,6 +140,12 @@ class DsmSystem : public MemorySystem {
   std::uint32_t nodes() const { return cfg_.nodes; }
   NodeId node_of_cpu(CpuId c) const { return c / cfg_.cpus_per_node; }
 
+  // The run's bump arena: backs every address-keyed table (page table,
+  // directory, page-cache frames, observation records), so steady-state
+  // protocol activity allocates nothing from the global heap and the
+  // whole footprint is bulk-freed at teardown.
+  Arena& arena() { return arena_; }
+
   // Verify every directory entry against the actual cache contents.
   // Aborts (assert) on violation; used by tests and debug runs.
   void check_coherence() const;
@@ -208,6 +215,9 @@ class DsmSystem : public MemorySystem {
 
   SystemConfig cfg_;
   Stats* stats_;
+  // Declared before every table it backs: members destruct in reverse
+  // declaration order, so the arena outlives its users.
+  Arena arena_;
   PageTable pt_;
   Directory dir_;
   std::unique_ptr<Fabric> net_;

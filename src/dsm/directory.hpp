@@ -38,6 +38,10 @@ struct DirEntry {
 
 class Directory {
  public:
+  explicit Directory(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : entries_(mem) {}
+
   // Flat-table find-or-insert. References stay valid across later
   // inserts and across erases of *other* blocks (chunk-stable values).
   DirEntry& entry(Addr blk) { return entries_[blk]; }

@@ -32,8 +32,10 @@ class PageCache {
     }
   };
 
-  explicit PageCache(std::uint64_t capacity_pages)
-      : capacity_(capacity_pages) {}
+  explicit PageCache(
+      std::uint64_t capacity_pages,
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : capacity_(capacity_pages), frames_(mem) {}
 
   bool infinite() const { return capacity_ == 0; }
 

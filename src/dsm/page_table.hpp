@@ -47,7 +47,10 @@ struct PageInfo {
 
 class PageTable {
  public:
-  explicit PageTable(std::uint32_t nodes) : nodes_(nodes) {
+  explicit PageTable(
+      std::uint32_t nodes,
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : nodes_(nodes), pages_(mem) {
     DSM_ASSERT(nodes_ <= kMaxNodes);
   }
 

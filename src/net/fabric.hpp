@@ -72,6 +72,19 @@ class Fabric {
   // occupancies and any link queueing.
   virtual Cycle latency(NodeId from, NodeId to) const = 0;
 
+  // Minimum unloaded wire latency over all distinct node pairs: the
+  // conservative lookahead bound the sharded engine records (no
+  // cross-node effect can land sooner than this after its cause).
+  Cycle min_wire_latency() const {
+    const std::uint32_t n = nodes();
+    if (n < 2) return timing().net_latency;
+    Cycle m = kNeverCycle;
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = 0; j < n; ++j)
+        if (i != j) m = std::min(m, latency(i, j));
+    return m;
+  }
+
   // --- introspection ------------------------------------------------------
   std::uint32_t nodes() const { return std::uint32_t(send_.size()); }
   std::uint64_t messages() const { return messages_; }

@@ -7,7 +7,9 @@
 namespace dsm {
 
 AdaptivePolicy::AdaptivePolicy(DsmSystem& sys)
-    : sys_(&sys), relocation_ok_(uses_page_cache(sys.config().kind)) {}
+    : sys_(&sys),
+      relocation_ok_(uses_page_cache(sys.config().kind)),
+      state_(&sys.arena()) {}
 
 std::uint64_t AdaptivePolicy::page_move_bytes() {
   return Message::page_bulk(0, 0, 0, kBlocksPerPage).total_bytes();

@@ -1,5 +1,7 @@
 #include "protocols/policy_engine.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "dsm/cluster.hpp"
 
@@ -19,12 +21,13 @@ const char* to_string(PolicyEventKind k) {
   }
 }
 
-PolicyEngine::PolicyEngine(const SystemConfig& cfg, Stats* stats)
-    : cfg_(&cfg), stats_(stats) {
+PolicyEngine::PolicyEngine(const SystemConfig& cfg, Stats* stats,
+                           std::pmr::memory_resource* mem)
+    : cfg_(&cfg), stats_(stats), obs_(mem) {
   DSM_ASSERT(stats_ != nullptr);
   counter_cache_.reserve(cfg.nodes);
   for (NodeId n = 0; n < cfg.nodes; ++n)
-    counter_cache_.emplace_back(cfg.migrep_counter_cache_pages);
+    counter_cache_.emplace_back(cfg.migrep_counter_cache_pages, mem);
   next_tick_at_ = cfg.timing.policy_epoch_events;
 }
 
@@ -97,6 +100,18 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
   }
 }
 
+void PolicyEngine::decay_ledger(PageObs& obs) {
+  const std::uint32_t shift_per_epoch = cfg_->timing.policy_ledger_decay_shift;
+  if (shift_per_epoch == 0) return;
+  if (obs.ledger_epoch != epoch_) {
+    const std::uint64_t elapsed = epoch_ - obs.ledger_epoch;
+    const std::uint64_t shift =
+        std::min<std::uint64_t>(63, elapsed * shift_per_epoch);
+    for (auto& b : obs.remote_bytes) b >>= shift;
+    obs.ledger_epoch = epoch_;
+  }
+}
+
 Cycle PolicyEngine::dispatch(PolicyEvent& ev, PageInfo* pi) {
   DSM_ASSERT(ev.kind != PolicyEventKind::kEpochTick,
              "epoch ticks are engine-generated");
@@ -104,6 +119,7 @@ Cycle PolicyEngine::dispatch(PolicyEvent& ev, PageInfo* pi) {
   PageObs& o = obs_[ev.page];
   events_++;
   depth_++;
+  decay_ledger(o);
   observe(ev, o, *pi);
   Cycle t = ev.now;
   for (auto& p : policies_) {

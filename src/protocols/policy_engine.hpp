@@ -108,6 +108,11 @@ struct PageObs {
   // Misses counted since the last periodic counter reset (the paper's
   // per-page "reset interval of 32000 misses").
   std::uint64_t counted_since_reset = 0;
+  // Epoch at which remote_bytes was last brought current. The byte
+  // ledger ages by policy_ledger_decay_shift halvings per elapsed epoch
+  // (applied lazily on the page's next event), so stale history cannot
+  // trigger late page ops long after a page's traffic pattern moved on.
+  std::uint64_t ledger_epoch = 0;
 
   std::uint32_t miss_ctr(NodeId n) const {
     return read_miss_ctr[n] + write_miss_ctr[n];
@@ -144,7 +149,10 @@ struct PageObs {
 // by the Section 6.4 regression test).
 class CounterCache {
  public:
-  explicit CounterCache(std::uint32_t capacity) : capacity_(capacity) {
+  explicit CounterCache(
+      std::uint32_t capacity,
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : capacity_(capacity), index_(mem) {
     if (unlimited()) return;
     nodes_.resize(capacity_);
     index_.reserve(capacity_);
@@ -252,7 +260,11 @@ class Policy {
 
 class PolicyEngine {
  public:
-  PolicyEngine(const SystemConfig& cfg, Stats* stats);
+  // `mem` backs the observation tables (a per-run Arena in DsmSystem;
+  // the default heap in unit tests that build an engine standalone).
+  PolicyEngine(const SystemConfig& cfg, Stats* stats,
+               std::pmr::memory_resource* mem =
+                   std::pmr::get_default_resource());
 
   // Ordered attachment: events visit policies in attachment order.
   void add_policy(std::unique_ptr<Policy> p);
@@ -276,6 +288,13 @@ class PolicyEngine {
  private:
   // Mandatory bookkeeping applied before policies see the event.
   void observe(PolicyEvent& ev, PageObs& obs, const PageInfo& pi);
+  // Bring the page's remote-byte ledger current: halve every slot
+  // policy_ledger_decay_shift times per epoch elapsed since the ledger
+  // was last touched. Runs before the event is absorbed or dispatched,
+  // so policies never see un-aged history. Touches only remote_bytes —
+  // the MigRep/R-NUMA counters are governed by the paper's own reset
+  // rules and stay byte-identical with decay on or off.
+  void decay_ledger(PageObs& obs);
   void maybe_tick(Cycle now);
 
   const SystemConfig* cfg_;

@@ -1,0 +1,211 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+
+namespace dsm {
+
+namespace {
+
+// Which engine/shard the current thread is inside a turn of. wake()
+// consults this to route: same shard -> apply now (serial semantics),
+// cross shard -> post to the (from, to) mailbox. Thread-local rather
+// than a member so concurrent sweep runs (run_matrix) in one process
+// never see each other's turns.
+struct TurnTls {
+  const void* engine = nullptr;
+  std::uint32_t shard = 0;
+};
+thread_local TurnTls t_turn;
+
+struct TurnGuard {
+  ~TurnGuard() { t_turn.engine = nullptr; }
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const SystemConfig& cfg, MemorySystem* mem,
+                             Stats* stats, std::uint32_t shards,
+                             Cycle lookahead,
+                             std::pmr::memory_resource* ring_mem)
+    : Engine(cfg, mem, stats),
+      shards_(std::clamp<std::uint32_t>(shards, 1, cfg.nodes)),
+      lookahead_(lookahead) {
+  switch (cfg.shard_threads) {
+    case SystemConfig::ShardThreads::kInline: threaded_ = false; break;
+    case SystemConfig::ShardThreads::kThreaded: threaded_ = true; break;
+    case SystemConfig::ShardThreads::kAuto:
+    default: threaded_ = std::thread::hardware_concurrency() > 1; break;
+  }
+
+  const std::uint32_t ncpus = total_cpus();
+  cpu_shard_.resize(ncpus);
+  shard_cpu_begin_.assign(shards_, ncpus);
+  shard_cpu_end_.assign(shards_, 0);
+  for (std::uint32_t c = 0; c < ncpus; ++c) {
+    const std::uint32_t s = shard_of_node(c / cfg.cpus_per_node);
+    cpu_shard_[c] = s;
+    shard_cpu_begin_[s] = std::min(shard_cpu_begin_[s], c);
+    shard_cpu_end_[s] = std::max(shard_cpu_end_[s], c + 1);
+  }
+
+  // One ring per ordered shard pair. A blocked CPU has exactly one
+  // pending waker, so `ncpus` slots can never overflow.
+  mailboxes_.reserve(std::size_t(shards_) * shards_);
+  for (std::uint32_t i = 0; i < shards_ * shards_; ++i)
+    mailboxes_.emplace_back(ncpus + 1, ring_mem);
+  summaries_.assign(shards_, ShardSummary{});
+
+  home_rng_.reserve(cfg.nodes);
+  for (NodeId n = 0; n < cfg.nodes; ++n)
+    home_rng_.push_back(Rng::for_stream(cfg.seed, n));
+}
+
+void ShardedEngine::wake(CpuId id, Cycle at) {
+  DSM_ASSERT(t_turn.engine == this, "wake outside a shard turn");
+  const std::uint32_t target = cpu_shard_[id];
+  if (target == t_turn.shard) {
+    Engine::wake(id, at);
+    return;
+  }
+  cross_wakes_++;
+  const bool ok = mailbox(t_turn.shard, target).push(WakeMsg{id, at});
+  DSM_ASSERT(ok, "cross-shard mailbox overflow");
+}
+
+void ShardedEngine::drain_mailboxes(std::uint32_t s) {
+  for (std::uint32_t from = 0; from < shards_; ++from) {
+    if (from == s) continue;
+    mailbox(from, s).drain(
+        [&](const WakeMsg& w) { Engine::wake(w.cpu, w.at); });
+  }
+}
+
+void ShardedEngine::run_shard_window(std::uint32_t s) {
+  const Cycle wend = window_start_ + quantum_;
+  t_turn.engine = this;
+  t_turn.shard = s;
+  TurnGuard guard;
+  for (std::uint32_t c = shard_cpu_begin_[s]; c < shard_cpu_end_[s]; ++c) {
+    Cpu& cpu = cpus_[c];
+    while (cpu.state == Cpu::State::kReady && cpu.clock < wend) {
+      cpu.run_until = wend;
+      cpu.current.resume();
+      if (roots_[c].done()) {
+        roots_[c].rethrow_if_failed();
+        cpu.state = Cpu::State::kDone;
+        finish_time_ = std::max(finish_time_, cpu.clock);
+      }
+    }
+  }
+}
+
+void ShardedEngine::publish_summary(std::uint32_t s) {
+  ShardSummary sum;
+  for (std::uint32_t c = shard_cpu_begin_[s]; c < shard_cpu_end_[s]; ++c) {
+    const Cpu& cpu = cpus_[c];
+    switch (cpu.state) {
+      case Cpu::State::kReady:
+        sum.min_ready = std::min(sum.min_ready, cpu.clock);
+        break;
+      case Cpu::State::kBlocked: sum.blocked++; break;
+      case Cpu::State::kDone: sum.done++; break;
+    }
+  }
+  summaries_[s] = sum;
+}
+
+void ShardedEngine::advance_window() {
+  Cycle m = kNeverCycle;
+  bool any_blocked = false;
+  for (const ShardSummary& sum : summaries_) {
+    m = std::min(m, sum.min_ready);
+    any_blocked |= sum.blocked != 0;
+  }
+  // Undrained cross-shard wakes: their targets are still marked blocked
+  // in the owner's summary, but they will be ready the moment the owner
+  // drains — at exactly max(stored clock, wake time), the clock the
+  // serial engine's immediately-applied wake would have produced. The
+  // peek is safe here: every producer's turn has ended, and its writes
+  // reached this thread through the baton's release/acquire chain.
+  for (std::uint32_t from = 0; from < shards_; ++from) {
+    for (std::uint32_t to = 0; to < shards_; ++to) {
+      if (from == to) continue;
+      mailbox(from, to).peek_each([&](const WakeMsg& w) {
+        m = std::min(m, std::max(cpus_[w.cpu].clock, w.at));
+      });
+    }
+  }
+  if (m == kNeverCycle) {
+    deadlock_ = any_blocked;
+    stop_.store(true, std::memory_order_release);
+    return;
+  }
+  window_start_ = m;
+  windows_++;
+}
+
+void ShardedEngine::step_turn(std::uint64_t t) {
+  const std::uint32_t s = std::uint32_t(t % shards_);
+  try {
+    drain_mailboxes(s);
+    run_shard_window(s);
+    publish_summary(s);
+    if (s == shards_ - 1) advance_window();
+  } catch (...) {
+    // First failure in baton order — the same body the serial engine
+    // would have rethrown from. Later turns never run.
+    error_ = std::current_exception();
+    stop_.store(true, std::memory_order_release);
+  }
+  turn_.store(t + 1, std::memory_order_release);
+  if (threaded_) turn_.notify_all();
+}
+
+void ShardedEngine::worker_loop(std::uint32_t s) {
+  std::uint64_t next = s;
+  for (;;) {
+    std::uint64_t cur = turn_.load(std::memory_order_acquire);
+    while (cur != next) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      turn_.wait(cur, std::memory_order_acquire);
+      cur = turn_.load(std::memory_order_acquire);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    step_turn(next);
+    next += shards_;
+  }
+}
+
+void ShardedEngine::run() {
+  quantum_ = std::max<Cycle>(1, cfg_.quantum);
+  turn_.store(0, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  deadlock_ = false;
+  error_ = nullptr;
+  windows_ = 0;
+
+  // Seed the protocol: summaries from the spawned state, then the first
+  // window start (stop_ fires straight away when nothing was spawned).
+  for (std::uint32_t s = 0; s < shards_; ++s) publish_summary(s);
+  advance_window();
+
+  if (!stop_.load(std::memory_order_relaxed)) {
+    if (threaded_) {
+      std::vector<std::thread> workers;
+      workers.reserve(shards_);
+      for (std::uint32_t s = 0; s < shards_; ++s)
+        workers.emplace_back(&ShardedEngine::worker_loop, this, s);
+      for (std::thread& w : workers) w.join();
+    } else {
+      std::uint64_t t = 0;
+      while (!stop_.load(std::memory_order_relaxed)) step_turn(t++);
+    }
+  }
+
+  if (error_) std::rethrow_exception(error_);
+  DSM_ASSERT(!deadlock_,
+             "deadlock: blocked CPUs with no runnable CPU to wake them");
+  for (const Cpu& c : cpus_) finish_time_ = std::max(finish_time_, c.clock);
+}
+
+}  // namespace dsm

@@ -1,0 +1,158 @@
+// Home-sharded, epoch-synchronized engine: the serial window loop
+// decomposed into per-shard turns that exchange cross-shard wakes
+// through SPSC queues — bit-identical to Engine::run() by construction.
+//
+// Partitioning. The node set is split into `shards` contiguous ranges
+// (every CPU of a node lands in its node's shard). Because the DSM
+// protocol serializes every directory transaction at one home node,
+// a shard is the natural ownership unit: during its turn a shard runs
+// only its own CPUs, and all simulator state it mutates through the
+// MemorySystem — its homes' Directory entries, PageInfo, CounterCache
+// and PageObs records, plus whatever remote state the protocol touches
+// on its CPUs' behalf — is reached only by the turn holder.
+//
+// Window protocol. Each scheduling window [w, w + quantum) is executed
+// as a baton ring over the shards in index order:
+//
+//   turn t (shard s = t mod S):
+//     1. drain every incoming SPSC mailbox (i -> s), applying deferred
+//        cross-shard wakes to own CPUs;
+//     2. run own CPUs exactly like the serial engine's window pass
+//        (index order, free-run while ready and clock < w + quantum);
+//     3. publish a summary (min ready clock, blocked/done counts);
+//     4. last shard of the window: compute the next window start from
+//        the published summaries plus a non-consuming peek of every
+//        still-pending wake envelope (effective clock =
+//        max(blocked CPU clock, wake time) — exactly the clock the
+//        serial engine's immediately-applied wake would have produced);
+//     5. release the baton (atomic turn counter, release ordering).
+//
+// Wakes raised during a turn targeting the turn holder's own CPUs are
+// applied immediately (serial semantics); wakes crossing a shard
+// boundary are posted to the (from, to) SPSC queue and take effect when
+// the target shard next drains — which is precisely when the serial
+// engine's scheduling order would let the woken CPU run again (a wake
+// to an earlier-indexed CPU never reruns it within the current window;
+// a later-indexed shard drains before its CPUs run this window).
+// The queues carry at most one envelope per CPU (a blocked CPU has
+// exactly one waker: the sync object it blocked on), so rings sized to
+// the CPU count never overflow and the steady state allocates nothing.
+//
+// Why bit-identical: the baton ring makes shard turns a permutation-
+// free re-bracketing of the serial engine's single pass — same global
+// CPU order, same window boundaries, same wake visibility — so every
+// MemorySystem::access() happens at the same simulated time with the
+// same interleaving, and all bytes, cycles and decisions match the
+// serial engine exactly (the parity sweep pins this at shards 1/2/4).
+// The flip side: shard turns do not yet overlap in simulated time.
+// `lookahead` (the fabric's min unloaded wire latency) is the bound a
+// future overlapping relaxation would have to respect; it is carried
+// and reported here so the conservative-window math is in one place,
+// but the baton — not the lookahead — is what orders turns today.
+//
+// Drive modes (SystemConfig::ShardThreads): kThreaded parks one worker
+// thread per shard on the atomic turn counter (what multi-core hosts
+// and the TSan job use — every cross-thread handoff is a release/
+// acquire edge on that counter, so the run is data-race-free by
+// construction); kInline steps the same turn sequence on the calling
+// thread (single-core hosts, the parity sweep); kAuto picks by
+// hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory_resource>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
+#include "sim/engine.hpp"
+
+namespace dsm {
+
+class ShardedEngine final : public Engine {
+ public:
+  // `lookahead` is the fabric's minimum unloaded wire latency (see
+  // Fabric::min_wire_latency); diagnostic for now (header note).
+  // `mem` backs the mailbox rings (the run arena, or the heap).
+  ShardedEngine(const SystemConfig& cfg, MemorySystem* mem, Stats* stats,
+                std::uint32_t shards, Cycle lookahead,
+                std::pmr::memory_resource* ring_mem =
+                    std::pmr::get_default_resource());
+
+  void run() override;
+  void wake(CpuId id, Cycle at) override;
+
+  // --- introspection (tests, reports) -------------------------------------
+  std::uint32_t shards() const { return shards_; }
+  std::uint32_t shard_of_cpu(CpuId id) const { return cpu_shard_[id]; }
+  std::uint32_t shard_of_node(NodeId n) const {
+    return n * shards_ / cfg_.nodes;
+  }
+  bool threaded() const { return threaded_; }
+  Cycle lookahead() const { return lookahead_; }
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t cross_shard_wakes() const { return cross_wakes_; }
+
+  // Deterministic per-home RNG stream: derived from (seed, home) via
+  // the splitmix mix, so the sequence a home draws is identical in the
+  // serial engine, at every shard count, and in every drive mode.
+  Rng& home_rng(NodeId n) { return home_rng_[n]; }
+
+ private:
+  struct WakeMsg {
+    CpuId cpu = 0;
+    Cycle at = 0;
+  };
+  // Published at the end of a shard's turn, read by the window-closing
+  // shard. Padded: summaries are written by different threads in the
+  // threaded drive mode (never concurrently — the baton orders them —
+  // but sharing a line would still ping-pong it).
+  struct alignas(64) ShardSummary {
+    Cycle min_ready = kNeverCycle;
+    std::uint32_t blocked = 0;
+    std::uint32_t done = 0;
+  };
+
+  SpscQueue<WakeMsg>& mailbox(std::uint32_t from, std::uint32_t to) {
+    return mailboxes_[from * shards_ + to];
+  }
+
+  // One baton turn: drain, run own CPUs, publish, maybe close window,
+  // pass the baton. Returns false once the run is over.
+  void step_turn(std::uint64_t t);
+  void drain_mailboxes(std::uint32_t s);
+  void run_shard_window(std::uint32_t s);
+  void publish_summary(std::uint32_t s);
+  // Window-closing shard: pick the next window start (or detect
+  // completion/deadlock). Sets stop_ when the run is over.
+  void advance_window();
+  void worker_loop(std::uint32_t s);
+
+  std::uint32_t shards_;
+  bool threaded_;
+  Cycle lookahead_;
+  Cycle quantum_ = 1;
+
+  std::vector<std::uint32_t> cpu_shard_;        // CpuId -> shard
+  std::vector<std::uint32_t> shard_cpu_begin_;  // shard -> first CpuId
+  std::vector<std::uint32_t> shard_cpu_end_;    // shard -> past-last CpuId
+  std::vector<SpscQueue<WakeMsg>> mailboxes_;   // [from * shards_ + to]
+  std::vector<ShardSummary> summaries_;
+  std::vector<Rng> home_rng_;  // per node, stream = (seed, node)
+
+  // Baton: turn t belongs to shard (t mod S); the store is the release
+  // edge every cross-thread handoff synchronizes on.
+  alignas(64) std::atomic<std::uint64_t> turn_{0};
+  std::atomic<bool> stop_{false};
+  // Written by the window-closing shard before it releases the baton.
+  Cycle window_start_ = 0;
+  bool deadlock_ = false;
+  std::exception_ptr error_;  // first body failure, in baton order
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_wakes_ = 0;
+};
+
+}  // namespace dsm

@@ -155,6 +155,70 @@ TEST_F(PolicyEngineTest, EpochTicksEveryNEvents) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-page remote-byte ledger decay: one halving per elapsed epoch
+// (TimingConfig::policy_ledger_decay_shift), applied lazily at the
+// page's next event so idle pages cost nothing per tick.
+// ---------------------------------------------------------------------------
+
+TEST_F(PolicyEngineTest, LedgerHalvesOncePerElapsedEpoch) {
+  build(SystemKind::kCcNuma);  // no policies: bookkeeping only
+  cfg_.timing.policy_epoch_events = 4;
+  cfg_.timing.policy_ledger_decay_shift = 1;
+  rebuild();
+  const Addr a = 0x1100000;
+  const Addr b = 0x1200000;
+  bind(a, 0);                       // event 1
+  miss(page_of(a), 1, false, 640);  // event 2
+  const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->remote_bytes[1], 640u);
+  bind(b, 0);                      // event 3
+  miss(page_of(b), 1, false, 96);  // event 4: epoch tick fires
+  ASSERT_EQ(sys_->policy_engine().epoch(), 1u);
+  // Decay is lazy: a's ledger is untouched until a's next event...
+  EXPECT_EQ(obs->remote_bytes[1], 640u);
+  // ...which first halves it once (one elapsed epoch), then adds the
+  // event's own bytes.
+  miss(page_of(a), 1, false, 96);  // event 5
+  EXPECT_EQ(obs->remote_bytes[1], 640u / 2 + 96u);
+  // Two further elapsed epochs -> two further halvings before the add.
+  for (int i = 0; i < 8; ++i) miss(page_of(b), 1, false, 96);  // 6..13
+  ASSERT_EQ(sys_->policy_engine().epoch(), 3u);
+  miss(page_of(a), 1, false, 96);  // event 14
+  EXPECT_EQ(obs->remote_bytes[1], (640u / 2 + 96u) / 4 + 96u);
+}
+
+TEST_F(PolicyEngineTest, LedgerDecayShiftZeroDisablesDecay) {
+  build(SystemKind::kCcNuma);
+  cfg_.timing.policy_epoch_events = 4;
+  cfg_.timing.policy_ledger_decay_shift = 0;  // pre-decay behavior
+  rebuild();
+  const Addr a = 0x1300000;
+  bind(a, 0);
+  miss(page_of(a), 1, false, 640);
+  for (int i = 0; i < 10; ++i) miss(page_of(a), 2, false, 96);
+  ASSERT_GE(sys_->policy_engine().epoch(), 2u);
+  const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
+  EXPECT_EQ(obs->remote_bytes[1], 640u);  // accumulates, never decays
+}
+
+TEST_F(PolicyEngineTest, LedgerDecayLongIdleClampsToZero) {
+  build(SystemKind::kCcNuma);
+  cfg_.timing.policy_epoch_events = 4;
+  cfg_.timing.policy_ledger_decay_shift = 32;  // 2 epochs -> shift 64
+  rebuild();
+  const Addr a = 0x1400000;
+  const Addr b = 0x1500000;
+  bind(a, 0);                       // event 1
+  miss(page_of(a), 1, false, 640);  // event 2
+  bind(b, 0);                       // event 3
+  for (int i = 0; i < 8; ++i) miss(page_of(b), 1, false, 96);  // 4..11
+  ASSERT_EQ(sys_->policy_engine().epoch(), 2u);
+  miss(page_of(a), 1, false, 96);  // shift clamps to 63: old bytes gone
+  EXPECT_EQ(sys_->policy_engine().find_obs(page_of(a))->remote_bytes[1], 96u);
+}
+
+// ---------------------------------------------------------------------------
 // Scripted decisions: the paper's engines over synthetic event streams
 // ---------------------------------------------------------------------------
 

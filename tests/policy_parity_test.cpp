@@ -92,5 +92,58 @@ std::string param_name(const ::testing::TestParamInfo<Golden>& info) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, PolicyParity, ::testing::ValuesIn(kGolden),
                          param_name);
 
+// ---------------------------------------------------------------------------
+// Sharded-engine bit-identity sweep: the same goldens must hold, byte-
+// and cycle-exact, when the run is driven by the home-sharded engine at
+// every shard count — the engine's claim is that sharding changes only
+// host-side execution, never the simulation. Inline drive mode keeps
+// the sweep fast on single-core CI runners; the TSan job re-runs the
+// suite threaded via DSM_SHARDS/DSM_SHARD_THREADS.
+// ---------------------------------------------------------------------------
+
+struct ShardedGolden {
+  Golden g;
+  std::uint32_t shards;
+};
+
+class ShardedParity : public ::testing::TestWithParam<ShardedGolden> {};
+
+TEST_P(ShardedParity, MatchesSerialEngineExactly) {
+  const Golden& g = GetParam().g;
+  RunSpec spec = paper_spec(g.kind, g.app, Scale::kDefault);
+  spec.system.shards = GetParam().shards;
+  spec.system.shard_threads = SystemConfig::ShardThreads::kInline;
+  const RunResult r = run_one(spec);
+  const TrafficBreakdown t = r.stats.traffic_total();
+  EXPECT_EQ(t.bytes_of(TrafficClass::kData), g.data_bytes);
+  EXPECT_EQ(t.bytes_of(TrafficClass::kControl), g.control_bytes);
+  EXPECT_EQ(t.bytes_of(TrafficClass::kPageOp), g.pageop_bytes);
+  EXPECT_EQ(r.stats.page_migrations_total(), g.migrations);
+  EXPECT_EQ(r.stats.page_replications_total(), g.replications);
+  EXPECT_EQ(r.stats.page_relocations_total(), g.relocations);
+  EXPECT_EQ(r.cycles, g.cycles);
+}
+
+std::vector<ShardedGolden> sharded_goldens() {
+  std::vector<ShardedGolden> v;
+  for (const Golden& g : kGolden)
+    for (std::uint32_t s : {1u, 2u, 4u}) v.push_back({g, s});
+  return v;
+}
+
+std::string sharded_param_name(
+    const ::testing::TestParamInfo<ShardedGolden>& info) {
+  std::string s = std::string(to_string(info.param.g.kind)) + "_" +
+                  info.param.g.app + "_s" +
+                  std::to_string(info.param.shards);
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardSweep, ShardedParity,
+                         ::testing::ValuesIn(sharded_goldens()),
+                         sharded_param_name);
+
 }  // namespace
 }  // namespace dsm

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh bench_micro_sim run against the
+committed throughput trajectory (BENCH_sim_throughput.json).
+
+The trajectory file holds one point per PR:
+
+    {"points": [{"label": "...", "date": "...", "context": {...},
+                 "benchmarks": {"BM_...": items_per_second, ...}}, ...]}
+
+The gate compares the fresh run against the LAST committed point.
+Because CI runners and the machines that recorded points differ in raw
+speed, end-to-end throughput is normalized by a calibration microbench
+(BM_CoroutineStep: a pure coroutine resume/suspend loop that no
+simulator change should affect): a run on a host twice as fast is
+expected to show twice the events/sec everywhere. The gate fails when
+the geometric mean of normalized end-to-end ratios drops more than
+--threshold below the baseline.
+
+Usage:
+  check_perf_regression.py --fresh out.json --baseline BENCH_sim_throughput.json
+  check_perf_regression.py --append --label pr7 --fresh out.json \
+      --baseline BENCH_sim_throughput.json   # add a trajectory point
+"""
+
+import argparse
+import json
+import math
+import sys
+
+CALIBRATION = "BM_CoroutineStep"
+# End-to-end simulator throughput benches: the gated set. Micro benches
+# (L1 probe, directory entry, ...) are reported but not gated - their
+# sub-10ns scale makes them too noisy for a hard threshold.
+GATED_PREFIXES = ("BM_TinyWorkloadRun", "BM_DefaultWorkloadRun")
+
+
+def bench_map(google_benchmark_json):
+    """name -> items_per_second from raw google-benchmark output."""
+    out = {}
+    for b in google_benchmark_json.get("benchmarks", []):
+        if b.get("run_type") == "iteration" and "items_per_second" in b:
+            out[b["name"]] = b["items_per_second"]
+    return out
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "points" in data:
+        return data
+    # Legacy layout: a raw google-benchmark dump (the PR 5 baseline).
+    return {
+        "points": [
+            {
+                "label": "pr5",
+                "date": data.get("context", {}).get("date", ""),
+                "context": {
+                    "host_name": data.get("context", {}).get("host_name", ""),
+                    "num_cpus": data.get("context", {}).get("num_cpus", 0),
+                },
+                "benchmarks": bench_map(data),
+            }
+        ]
+    }
+
+
+def check(fresh, base, threshold):
+    calib_fresh = fresh.get(CALIBRATION)
+    calib_base = base["benchmarks"].get(CALIBRATION)
+    if not calib_fresh or not calib_base:
+        print(f"FAIL: calibration bench {CALIBRATION} missing")
+        return 1
+    host_ratio = calib_fresh / calib_base
+    print(f"calibration {CALIBRATION}: fresh {calib_fresh:.3e} / "
+          f"baseline {calib_base:.3e} -> host speed ratio {host_ratio:.3f}")
+
+    ratios = []
+    print(f"{'benchmark':<42} {'baseline':>12} {'fresh':>12} "
+          f"{'norm-ratio':>10}  gated")
+    for name, base_ips in sorted(base["benchmarks"].items()):
+        if name == CALIBRATION or name not in fresh:
+            continue
+        norm = fresh[name] / (base_ips * host_ratio)
+        gated = name.startswith(GATED_PREFIXES)
+        if gated:
+            ratios.append(norm)
+        print(f"{name:<42} {base_ips:>12.3e} {fresh[name]:>12.3e} "
+              f"{norm:>10.3f}  {'yes' if gated else 'no'}")
+
+    if not ratios:
+        print("FAIL: no gated end-to-end benchmarks in common")
+        return 1
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    floor = 1.0 - threshold
+    verdict = "OK" if geomean >= floor else "FAIL"
+    print(f"{verdict}: end-to-end events/sec geomean ratio {geomean:.3f} "
+          f"vs baseline '{base['label']}' (floor {floor:.2f}, "
+          f"{len(ratios)} benches)")
+    return 0 if geomean >= floor else 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fresh", required=True,
+                    help="raw google-benchmark JSON of this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed trajectory (BENCH_sim_throughput.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed normalized geomean drop (default 0.10)")
+    ap.add_argument("--append", action="store_true",
+                    help="append the fresh run as a new trajectory point "
+                         "instead of gating")
+    ap.add_argument("--label", default="",
+                    help="label for the appended point (e.g. pr7)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh_raw = json.load(f)
+    fresh = bench_map(fresh_raw)
+    traj = load_trajectory(args.baseline)
+
+    if args.append:
+        if not args.label:
+            print("FAIL: --append requires --label")
+            return 1
+        ctx = fresh_raw.get("context", {})
+        traj["points"].append({
+            "label": args.label,
+            "date": ctx.get("date", ""),
+            "context": {"host_name": ctx.get("host_name", ""),
+                        "num_cpus": ctx.get("num_cpus", 0)},
+            "benchmarks": fresh,
+        })
+        with open(args.baseline, "w") as f:
+            json.dump(traj, f, indent=2)
+            f.write("\n")
+        print(f"appended point '{args.label}' "
+              f"({len(traj['points'])} points total)")
+        return 0
+
+    return check(fresh, traj["points"][-1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
