@@ -46,6 +46,16 @@ struct Options {
   // are bit-identical at every shard count and drive mode.
   std::uint32_t shards = 0;
   SystemConfig::ShardThreads shard_threads = SystemConfig::ShardThreads::kAuto;
+  // Fault injection (--fault-seed N enables; --fault-drop-pct P,
+  // --fault-link-downs K, --fault-retry-base C, --fault-retry-max A
+  // shape the plan). Faults off (the default) is bit-identical to a
+  // build without the fault layer.
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
+  double fault_drop_pct = 1.0;
+  std::uint32_t fault_link_downs = 0;
+  Cycle fault_retry_base = 0;      // 0 = keep TimingConfig default
+  std::uint32_t fault_retry_max = 0;  // 0 = keep TimingConfig default
   // The worker count actually used (what the throughput fields were
   // measured under — per-run wall time includes contention from
   // sibling workers, so jobs context is part of the measurement).
@@ -62,6 +72,14 @@ struct Options {
     if (adaptive_k != 0) sc.timing.adaptive_k = adaptive_k;
     sc.shards = shards;
     sc.shard_threads = shard_threads;
+    if (fault_seed_set) {
+      sc.faults.seed = fault_seed;
+      sc.faults.drop_pct = fault_drop_pct;
+      sc.faults.rand_link_downs = fault_link_downs;
+    }
+    if (fault_retry_base != 0) sc.timing.fault_retry_base = fault_retry_base;
+    if (fault_retry_max != 0)
+      sc.timing.fault_retry_max_attempts = fault_retry_max;
   }
   bool routed_fabric() const { return fabric != FabricKind::kNiConstant; }
 };
@@ -175,6 +193,65 @@ inline Options parse(int argc, char** argv) {
         std::exit(2);
       }
       o.adaptive_k = std::uint32_t(v);
+    }
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(arg, &end, 10);
+      if (end == arg || *end != '\0') {
+        std::fprintf(stderr, "bad --fault-seed '%s' (expected a seed)\n", arg);
+        std::exit(2);
+      }
+      o.fault_seed = v;
+      o.fault_seed_set = true;
+    }
+    if (std::strcmp(argv[i], "--fault-drop-pct") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const double v = std::strtod(arg, &end);
+      if (end == arg || *end != '\0' || v < 0.0 || v > 100.0) {
+        std::fprintf(stderr,
+                     "bad --fault-drop-pct '%s' (expected 0..100)\n", arg);
+        std::exit(2);
+      }
+      o.fault_drop_pct = v;
+    }
+    if (std::strcmp(argv[i], "--fault-link-downs") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v > 1u << 16) {
+        std::fprintf(stderr,
+                     "bad --fault-link-downs '%s' (expected an outage "
+                     "count)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.fault_link_downs = std::uint32_t(v);
+    }
+    if (std::strcmp(argv[i], "--fault-retry-base") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(arg, &end, 10);
+      if (end == arg || *end != '\0' || v == 0) {
+        std::fprintf(stderr,
+                     "bad --fault-retry-base '%s' (expected cycles > 0)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.fault_retry_base = Cycle(v);
+    }
+    if (std::strcmp(argv[i], "--fault-retry-max") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (end == arg || *end != '\0' || v == 0 || v > 64) {
+        std::fprintf(stderr,
+                     "bad --fault-retry-max '%s' (expected 1..64 attempts)\n",
+                     arg);
+        std::exit(2);
+      }
+      o.fault_retry_max = std::uint32_t(v);
     }
     if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
       o.apps.clear();
@@ -356,6 +433,10 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           "   \"migrations\": %llu, \"replications\": %llu, "
           "\"relocations\": %llu,\n"
           "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u,\n"
+          "   \"drops_injected\": %llu, \"dups_injected\": %llu, "
+          "\"delays_injected\": %llu,\n"
+          "   \"retries\": %llu, \"nacks\": %llu, \"reroutes\": %llu, "
+          "\"aborted_page_ops\": %llu, \"hard_errors\": %llu,\n"
           "   \"sim_refs\": %llu, \"wall_seconds\": %.4f, "
           "\"events_per_sec\": %.0f, \"jobs\": %u}",
           first ? "" : ",\n", bench, apps[a].c_str(), c.name.c_str(),
@@ -369,6 +450,14 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           static_cast<unsigned long long>(r.stats.page_relocations_total()),
           static_cast<unsigned long long>(r.stats.link_bytes_total()),
           r.stats.link_max_queue_depth(),
+          static_cast<unsigned long long>(r.stats.faults.drops_injected),
+          static_cast<unsigned long long>(r.stats.faults.dups_injected),
+          static_cast<unsigned long long>(r.stats.faults.delays_injected),
+          static_cast<unsigned long long>(r.stats.faults.retries),
+          static_cast<unsigned long long>(r.stats.faults.nacks),
+          static_cast<unsigned long long>(r.stats.faults.reroutes),
+          static_cast<unsigned long long>(r.stats.faults.aborted_page_ops),
+          static_cast<unsigned long long>(r.stats.faults.hard_errors),
           static_cast<unsigned long long>(r.sim_refs()), r.wall_seconds,
           r.events_per_sec(), jobs);
       first = false;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -136,6 +137,14 @@ struct TimingConfig {
   // penalty decays one level per epoch without an op.
   std::uint32_t adaptive_hysteresis_max_shift = 6;
 
+  // --- fault recovery (net/fault.hpp) --------------------------------------
+  // First retransmission backoff after a lost transaction; attempt n
+  // waits fault_retry_base << n. After fault_retry_max_attempts the
+  // transaction degrades (page ops abort cleanly, demand fetches force
+  // through and bump the hard-error counter).
+  Cycle fault_retry_base = 2000;
+  std::uint32_t fault_retry_max_attempts = 6;
+
   // Derived sums for the unloaded latency contract.
   Cycle local_miss_total() const {
     return l1_miss_detect + bus_arb + bus_addr + mem_access + bus_data + fill;
@@ -160,6 +169,42 @@ struct TimingConfig {
   static TimingConfig slow_page_ops();
   // Section 6.3: network latency chosen so remote:local = 16.
   static TimingConfig long_latency();
+};
+
+// Deterministic fault-injection schedule (net/fault.hpp). All rates are
+// percentages of messages on the injectable channel; decisions are drawn
+// from per-source-node Rng streams so the schedule is identical across
+// serial and sharded engines. Default-constructed = no faults, and the
+// fault layer is never built (zero-cost-when-off).
+struct FaultConfig {
+  std::uint64_t seed = 0;     // fault-plan RNG seed (independent of cfg.seed)
+  double drop_pct = 0.0;      // % of messages silently dropped in flight
+  double dup_pct = 0.0;       // % of messages delivered twice
+  double delay_pct = 0.0;     // % of messages held delay_cycles extra
+  Cycle delay_cycles = 500;   // extra in-flight latency for delayed messages
+
+  // Scheduled directed-link outages on the mesh/torus fabric: the link
+  // leaving `router` in direction `dir` (LinkDir encoding) is dead for
+  // cycles [down, up).
+  struct LinkDown {
+    std::uint32_t router = 0;
+    std::uint8_t dir = 0;
+    Cycle down = 0;
+    Cycle up = 0;
+  };
+  std::vector<LinkDown> link_downs;
+
+  // Seeded random outages: this many extra LinkDown intervals are drawn
+  // from the plan RNG at construction, each rand_link_down_len cycles
+  // long with start cycles uniform in [0, rand_link_down_horizon).
+  std::uint32_t rand_link_downs = 0;
+  Cycle rand_link_down_len = 200000;
+  Cycle rand_link_down_horizon = 20'000'000;
+
+  bool enabled() const {
+    return drop_pct > 0.0 || dup_pct > 0.0 || delay_pct > 0.0 ||
+           !link_downs.empty() || rand_link_downs > 0;
+  }
 };
 
 struct SystemConfig {
@@ -212,6 +257,9 @@ struct SystemConfig {
   ShardThreads shard_threads = ShardThreads::kAuto;
 
   std::uint64_t seed = 0x5eed5eedULL;
+
+  // Fault-injection schedule; default = perfect fabric, no fault layer.
+  FaultConfig faults{};
 
   std::uint32_t total_cpus() const { return nodes * cpus_per_node; }
   std::uint64_t page_cache_pages() const { return page_cache_bytes / kPageBytes; }

@@ -5,8 +5,9 @@
 // queue, so each ring has exactly one producer (shard i's turn) and one
 // consumer (shard j's turn). Capacity is fixed at construction and
 // sized to the worst case (every CPU can have at most one pending wake,
-// see the engine's protocol notes), so push never fails in practice and
-// the steady state allocates nothing.
+// see the engine's protocol notes); overflow therefore means the sizing
+// contract was broken and push asserts rather than failing quietly. The
+// steady state allocates nothing.
 //
 // Memory ordering: push releases after the slot write, pop/drain
 // acquires before the slot read — the standard Lamport ring. The extra
@@ -59,15 +60,15 @@ class SpscQueue {
 
   std::size_t capacity() const { return mask_ + 1; }
 
-  // Producer side. Returns false when full (the engine sizes rings so
-  // this cannot happen and asserts on it).
-  bool push(const T& v) {
+  // Producer side. The ring is sized for the worst case at
+  // construction, so a full ring is a broken contract, not a condition
+  // callers are expected to handle.
+  void push(const T& v) {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     const std::uint64_t t = tail_.load(std::memory_order_acquire);
-    if (h - t > mask_) return false;
+    DSM_ASSERT(h - t <= mask_, "SPSC ring overflow: capacity contract broken");
     buf_[h & mask_] = v;
     head_.store(h + 1, std::memory_order_release);
-    return true;
   }
 
   bool empty() const {

@@ -130,6 +130,22 @@ struct PolicyCounters {
   std::uint64_t suppressed = 0;    // triggers withheld (gates, hysteresis)
 };
 
+// Fault-injection and recovery counters (net/fault.hpp and the
+// reliable-transaction layer in dsm/recovery.cpp). All zero when the
+// fault layer is off. The *_injected counters are charged by the
+// FaultyFabric when it perturbs a message; the rest by the protocol's
+// recovery machinery.
+struct FaultStats {
+  std::uint64_t drops_injected = 0;   // messages lost in flight
+  std::uint64_t dups_injected = 0;    // messages delivered twice
+  std::uint64_t delays_injected = 0;  // messages held for extra cycles
+  std::uint64_t retries = 0;          // timeout-driven retransmissions
+  std::uint64_t nacks = 0;            // duplicate requests NACKed at home
+  std::uint64_t reroutes = 0;         // off-preferred mesh hops around dead links
+  std::uint64_t aborted_page_ops = 0; // page ops aborted after retry exhaustion
+  std::uint64_t hard_errors = 0;      // demand transactions forced through
+};
+
 struct Stats {
   std::vector<NodeStats> node;           // indexed by NodeId
   Cycle execution_cycles = 0;            // parallel-phase execution time
@@ -141,6 +157,9 @@ struct Stats {
 
   // Per-policy decision counters (see PolicyCounters above).
   std::vector<PolicyCounters> policy;
+
+  // Fault-injection and recovery counters (all zero with faults off).
+  FaultStats faults;
 
   explicit Stats(std::uint32_t nodes = 0) : node(nodes) {}
 

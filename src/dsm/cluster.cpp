@@ -61,6 +61,11 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
     history_.emplace_back(cfg.node_history_entries);
   }
   engine_ = std::make_unique<PolicyEngine>(cfg_, stats_, &arena_);
+  // Reliable-transaction tables exist only when the fault layer is on.
+  if (net_->fault_injection()) {
+    txn_seq_.assign(cfg.nodes, 0);
+    served_seq_.assign(std::size_t(cfg.nodes) * cfg.nodes, 0);
+  }
 }
 
 DsmSystem::~DsmSystem() = default;

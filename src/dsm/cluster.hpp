@@ -186,6 +186,31 @@ class DsmSystem : public MemorySystem {
   Cycle recall_from_owner(NodeId home, NodeId owner, Addr blk,
                           bool invalidate, Cycle t);
 
+  // ---- reliable-transaction layer (dsm/recovery.cpp) ----------------------
+  // With the fault layer off, every call below collapses to a plain
+  // net_->send — no sequence numbers, no extra state, bit-identical
+  // timing.
+  struct SendOutcome {
+    Cycle at;  // arrival on success, last depart time on failure
+    bool ok;
+  };
+  // Sequence-stamped send with timeout/exponential-backoff
+  // retransmission (TimingConfig::fault_retry_base/_max_attempts).
+  // `nack_dup` models the receiver's duplicate table: a wire-duplicated
+  // request is rejected with one directory lookup and a NACK.
+  SendOutcome send_reliable(Message m, Cycle t, bool nack_dup);
+  // Demand-path send: after retry exhaustion the transaction escalates
+  // to the reliable channel and counts a hard error — a demand access
+  // must proceed, never hang the engine.
+  Cycle send_demand(const Message& m, Cycle t, bool nack_dup);
+  // Reply leg: a lost reply is recovered by the requester's timeout
+  // retransmitting `request` (same transaction) and the responder's
+  // duplicate table re-issuing the reply after one directory lookup.
+  // Never fails (escalates after exhaustion).
+  Cycle reply_reliable(const Message& reply, const Message& request,
+                       Cycle ready);
+  std::uint32_t next_seq(NodeId requester);
+
   // ---- node-level helpers ---------------------------------------------------
   // Invalidate/downgrade every copy of `blk` at node `n` (L1s + BC/PC).
   // Marks node history with `reason` when invalidating. Returns whether
@@ -229,6 +254,12 @@ class DsmSystem : public MemorySystem {
   std::vector<NodeHistory> history_;               // per node
 
   std::unique_ptr<PolicyEngine> engine_;
+
+  // Reliable-transaction state, sized only when the fault layer is on:
+  // per-node next transaction sequence, and the per-(responder,
+  // requester) duplicate table recording the last sequence served.
+  std::vector<std::uint32_t> txn_seq_;
+  std::vector<std::uint32_t> served_seq_;
 
   Cycle parallel_begin_at_ = 0;
 };

@@ -23,12 +23,12 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
   PageInfo& pi = pt_.info(page);
   const NodeId home = pi.home;
   DSM_ASSERT(home != kNoNode);
+  const PageMode entry_mode = pi.mode[requester];
 
   // Request message to home + directory lookup.
-  Cycle th = net_->send(
-      Message::control(write ? MsgKind::kGetX : MsgKind::kGetS, requester,
-                       home, blk),
-      t);
+  const Message req = Message::control(
+      write ? MsgKind::kGetX : MsgKind::kGetS, requester, home, blk);
+  Cycle th = send_demand(req, t, /*nack_dup=*/true);
   const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
   th = device_[home].reserve(th, dir_occ) + dir_occ;
 
@@ -36,11 +36,20 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
   // request + data-reply byte charge (recall/invalidation rounds are
   // reported as their own kInvalidation events).
   emit_counted(/*upgrade=*/false, page, pi, requester, write,
-               Message::control(write ? MsgKind::kGetX : MsgKind::kGetS,
-                                requester, home, blk)
-                       .total_bytes() +
+               req.total_bytes() +
                    Message::data(home, requester, blk).total_bytes(),
                th);
+
+  // A policy page op fired off that event may have moved the page — a
+  // migration re-homing it or a relocation/replication remapping it at
+  // the requester. Completing the in-flight fetch against the stale
+  // pre-op mapping would supply data from the wrong home, so abort and
+  // let the caller restart against the post-op mapping (the op window
+  // stalls the retry; kInvalid is the restart signal).
+  if (pi.home != home || pi.mode[requester] != entry_mode) {
+    *granted = NodeState::kInvalid;
+    return th;
+  }
 
   DirEntry& e = dir_.entry(blk);
   Cycle data_ready;
@@ -84,8 +93,9 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
     }
   }
 
-  // Reply with data.
-  return net_->send(Message::data(home, requester, blk), data_ready);
+  // Reply with data (a lost reply is recovered by a request
+  // retransmission hitting the home's duplicate table).
+  return reply_reliable(Message::data(home, requester, blk), req, data_ready);
 }
 
 Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
@@ -103,16 +113,17 @@ Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
     return done;
   }
 
-  Cycle th =
-      net_->send(Message::control(MsgKind::kUpgrade, requester, home, blk), t);
+  const Message up =
+      Message::control(MsgKind::kUpgrade, requester, home, blk);
+  Cycle th = send_demand(up, t, /*nack_dup=*/true);
   const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
   th = device_[home].reserve(th, dir_occ) + dir_occ;
   const Cycle done = home_service_exclusive(home, requester, blk, th);
   e.state = DirState::kExclusive;
   e.owner = requester;
   e.sharers = 0;
-  return net_->send(Message::control(MsgKind::kAck, home, requester, blk),
-                    done);
+  return reply_reliable(Message::control(MsgKind::kAck, home, requester, blk),
+                        up, done);
 }
 
 Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
@@ -123,17 +134,16 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
     // Invalidate every sharer except the requester, in parallel.
     for (NodeId s = 0; s < cfg_.nodes; ++s) {
       if (!e.is_sharer(s) || s == requester) continue;
-      Cycle ts = (s == home)
-                     ? t
-                     : net_->send(
-                           Message::control(MsgKind::kInval, home, s, blk), t);
+      const Message inv = Message::control(MsgKind::kInval, home, s, blk);
+      Cycle ts = (s == home) ? t : send_demand(inv, t, /*nack_dup=*/false);
       const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
       ts = device_[s].reserve(ts, occ) + occ;
       flush_block_at_node(s, blk, /*invalidate=*/true, MissClass::kCoherence);
       const Cycle ack =
           (s == home)
               ? ts
-              : net_->send(Message::control(MsgKind::kAck, s, home, blk), ts);
+              : reply_reliable(Message::control(MsgKind::kAck, s, home, blk),
+                               inv, ts);
       done = std::max(done, ack);
       // Event: `s` lost its copy; charged the inval + ack pair (zero
       // when the sharer is the home itself — no wire messages).
@@ -168,10 +178,8 @@ Cycle DsmSystem::home_recall_shared(NodeId home, NodeId requester, Addr blk,
 
 Cycle DsmSystem::recall_from_owner(NodeId home, NodeId owner, Addr blk,
                                    bool invalidate, Cycle t) {
-  Cycle ts =
-      (owner == home)
-          ? t
-          : net_->send(Message::control(MsgKind::kInval, home, owner, blk), t);
+  const Message inv = Message::control(MsgKind::kInval, home, owner, blk);
+  Cycle ts = (owner == home) ? t : send_demand(inv, t, /*nack_dup=*/false);
   const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
   ts = device_[owner].reserve(ts, occ) + occ;
   // Grab the (possibly dirty) data off the owner's bus.
@@ -184,10 +192,10 @@ Cycle DsmSystem::recall_from_owner(NodeId home, NodeId owner, Addr blk,
   const Cycle end =
       (owner == home)
           ? ts
-          : net_->send(dirty ? Message::writeback(owner, home, blk)
-                             : Message::control(MsgKind::kAck, owner, home,
-                                                blk),
-                       ts);
+          : reply_reliable(dirty ? Message::writeback(owner, home, blk)
+                                 : Message::control(MsgKind::kAck, owner,
+                                                    home, blk),
+                           inv, ts);
   // Event: the owner's copy was recalled (invalidated or downgraded);
   // charged the inval order plus the writeback-or-ack reply.
   const Addr page = page_of(blk << kBlockBits);

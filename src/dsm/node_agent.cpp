@@ -253,6 +253,13 @@ Cycle DsmSystem::access_remote_ccnuma(const MemAccess& a, PageInfo& pi,
   record_remote_miss(a.node, node_class);
   NodeState granted = NodeState::kShared;
   t = remote_fetch(a.node, page, blk, a.write, t, &granted);
+  if (granted == NodeState::kInvalid) {
+    // The fetch aborted: a page op moved the mapping mid-transaction.
+    // Restart the whole access against the post-op mapping.
+    MemAccess retry = a;
+    retry.start = t;
+    return access(retry);
+  }
   bc_install(a.node, blk, granted, t);
   l1_install(a, blk,
              a.write ? L1State::kM
@@ -317,6 +324,13 @@ Cycle DsmSystem::access_scoma(const MemAccess& a, PageInfo& pi, Addr blk,
   record_remote_miss(a.node, node_class);
   NodeState granted = NodeState::kShared;
   t = remote_fetch(a.node, page, blk, a.write, t, &granted);
+  if (granted == NodeState::kInvalid) {
+    // The fetch aborted: a page op moved the mapping mid-transaction
+    // (the frame `f` may be flushed or released). Restart the access.
+    MemAccess retry = a;
+    retry.start = t;
+    return access(retry);
+  }
   if (!f->has(bix)) f->valid_blocks++;
   f->tag[bix] = a.write ? NodeState::kModified : granted;
   l1_install(a, blk,

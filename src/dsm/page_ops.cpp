@@ -44,8 +44,28 @@ Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
   for (unsigned i = 0; i < kBlocksPerPage; ++i)
     dir_.erase(first_blk_rep + i);
 
-  // Copy the page to the replica node.
-  t = net_->send(Message::page_bulk(home, node, page, kBlocksPerPage), t);
+  // Copy the page to the replica node. After retry exhaustion the op
+  // aborts cleanly: the gather already emptied every cache (demand
+  // fetches repopulate them) and no mapping was touched yet, so the
+  // rolled-back state is simply "not replicated".
+  const SendOutcome bulk = send_reliable(
+      Message::page_bulk(home, node, page, kBlocksPerPage), t,
+      /*nack_dup=*/false);
+  if (!bulk.ok) {
+    stats_->faults.aborted_page_ops++;
+    pi.op_pending_until = bulk.at;
+    PolicyEvent ev;
+    ev.kind = PolicyEventKind::kPageOpComplete;
+    ev.op = PageOpKind::kReplicate;
+    ev.page = page;
+    ev.node = node;
+    ev.peer = home;
+    ev.failed = true;
+    ev.now = bulk.at;
+    engine_->dispatch(ev, &pi);
+    return bulk.at;
+  }
+  t = bulk.at;
   const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
   t = device_[node].reserve(t, copy_occ) + copy_occ;
   t += cfg_.timing.tlb_shootdown;  // map the replica read-only at `node`
@@ -96,8 +116,27 @@ Cycle DsmSystem::migrate_page(Addr page, NodeId node, Cycle now) {
   t += cfg_.timing.tlb_shootdown;  // home shootdown (others are lazy)
   stats_->node[old_home].tlb_shootdowns++;
 
-  // Move the page to the new home.
-  t = net_->send(Message::page_bulk(old_home, node, page, kBlocksPerPage), t);
+  // Move the page to the new home. After retry exhaustion the op aborts
+  // cleanly: caches are already gathered (refilled on demand), the
+  // directory and every mapping still name the old home.
+  const SendOutcome bulk = send_reliable(
+      Message::page_bulk(old_home, node, page, kBlocksPerPage), t,
+      /*nack_dup=*/false);
+  if (!bulk.ok) {
+    stats_->faults.aborted_page_ops++;
+    pi.op_pending_until = bulk.at;
+    PolicyEvent ev;
+    ev.kind = PolicyEventKind::kPageOpComplete;
+    ev.op = PageOpKind::kMigrate;
+    ev.page = page;
+    ev.node = node;
+    ev.peer = old_home;
+    ev.failed = true;
+    ev.now = bulk.at;
+    engine_->dispatch(ev, &pi);
+    return bulk.at;
+  }
+  t = bulk.at;
   const Cycle copy_occ = cfg_.timing.page_copy_cost(kBlocksPerPage);
   t = device_[node].reserve(t, copy_occ) + copy_occ;
 
@@ -145,14 +184,17 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
 
   // Write-protection fault at the writer, then a switch-to-R/W request
   // at the home (a page-grain upgrade message).
+  // Every leg below is demand-path: the triggering write cannot abort,
+  // so retry exhaustion escalates to the reliable channel (hard error)
+  // instead of rolling back.
   stats_->node[writer_node].soft_traps++;
   t += cfg_.timing.soft_trap;
   Cycle th = t;
+  const Message up =
+      Message::control(MsgKind::kUpgrade, writer_node, home, page);
   if (writer_node != home) {
-    const Message up =
-        Message::control(MsgKind::kUpgrade, writer_node, home, page);
     wire_bytes += up.total_bytes();
-    th = net_->send(up, t);
+    th = send_demand(up, t, /*nack_dup=*/true);
   }
   th = device_[home].reserve(th, cfg_.timing.soft_trap) +
        cfg_.timing.soft_trap;
@@ -165,12 +207,12 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
     const Message inv = Message::control(MsgKind::kInval, home, s, page);
     const Message ack = Message::control(MsgKind::kAck, s, home, page);
     wire_bytes += inv.total_bytes() + ack.total_bytes();
-    Cycle ts = net_->send(inv, th);
+    Cycle ts = send_demand(inv, th, /*nack_dup=*/false);
     flush_page_at_node(s, page, MissClass::kCoherence);
     ts += cfg_.timing.tlb_shootdown;
     stats_->node[s].tlb_shootdowns++;
     pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
-    done = std::max(done, net_->send(ack, ts));
+    done = std::max(done, reply_reliable(ack, inv, ts));
   }
   pi.replicated = false;
   pi.replica_mask = 0;
@@ -181,7 +223,7 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
     const Message grant =
         Message::control(MsgKind::kAck, home, writer_node, page);
     wire_bytes += grant.total_bytes();
-    back = net_->send(grant, done);
+    back = reply_reliable(grant, up, done);
   }
 
   PolicyEvent ev;

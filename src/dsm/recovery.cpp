@@ -1,0 +1,101 @@
+// Reliable-transaction layer: protocol recovery over the fault-
+// injecting fabric (net/fault.hpp).
+//
+// The simulator delivers messages as synchronous timed calls, so loss
+// is modeled at transaction granularity: an injectable send returns a
+// Delivery outcome, and a lost message costs the requester a timeout
+// (exponential backoff from TimingConfig::fault_retry_base) before the
+// retransmission departs. Duplicate suppression is idempotent by
+// sequence number — the home's duplicate table rejects a wire-
+// duplicated request with a NACK, and re-issues the reply for a
+// retransmitted request whose original reply was lost.
+//
+// Degradation after fault_retry_max_attempts is policy-specific:
+// demand transactions (fetches, upgrades, invalidation rounds) force
+// through on the reliable channel and count a hard error; bulk page
+// ops abort cleanly instead (dsm/page_ops.cpp rolls state back and
+// emits kPageOpComplete with failed=true).
+//
+// With the fault layer off every entry point collapses to a plain
+// net_->send: no sequence stamping, no table lookups, bit-identical
+// byte and cycle accounting.
+#include <algorithm>
+
+#include "dsm/cluster.hpp"
+
+namespace dsm {
+
+std::uint32_t DsmSystem::next_seq(NodeId requester) {
+  DSM_DEBUG_ASSERT(requester < txn_seq_.size());
+  return ++txn_seq_[requester];
+}
+
+DsmSystem::SendOutcome DsmSystem::send_reliable(Message m, Cycle t,
+                                                bool nack_dup) {
+  if (!net_->fault_injection()) return {net_->send(m, t), true};
+  const TimingConfig& tc = cfg_.timing;
+  m.seq = next_seq(m.src);
+  Cycle at = t;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const Delivery d = net_->send_ex(m, at);
+    if (d.delivered) {
+      served_seq_[std::size_t(m.dst) * cfg_.nodes + m.src] = m.seq;
+      if (d.duplicated && nack_dup) {
+        // The wire-duplicated copy trails the original into the
+        // receiver: the duplicate table rejects it after one directory
+        // lookup, and a NACK tells the sender the transaction already
+        // completed (off the critical path — the original's reply is
+        // what the sender waits on).
+        stats_->faults.nacks++;
+        device_[m.dst].occupy(d.at, tc.dir_lookup);
+        net_->post(Message::nack(m.dst, m.src, m.addr, m.seq),
+                   d.at + tc.dir_lookup);
+      }
+      return {d.at, true};
+    }
+    if (attempt + 1 >= tc.fault_retry_max_attempts) return {d.at, false};
+    stats_->faults.retries++;
+    const Cycle backoff = tc.fault_retry_base
+                          << std::min<std::uint32_t>(attempt, 16);
+    at = std::max(d.at, t + backoff);
+  }
+}
+
+Cycle DsmSystem::send_demand(const Message& m, Cycle t, bool nack_dup) {
+  const SendOutcome o = send_reliable(m, t, nack_dup);
+  if (o.ok) return o.at;
+  stats_->faults.hard_errors++;
+  return net_->send(m, o.at);
+}
+
+Cycle DsmSystem::reply_reliable(const Message& reply, const Message& request,
+                                Cycle ready) {
+  if (!net_->fault_injection()) return net_->send(reply, ready);
+  const TimingConfig& tc = cfg_.timing;
+  Cycle at = ready;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const Delivery d = net_->send_ex(reply, at);
+    if (d.delivered) return d.at;
+    if (attempt + 1 >= tc.fault_retry_max_attempts) {
+      stats_->faults.hard_errors++;
+      return net_->send(reply, at);
+    }
+    // Lost reply: the requester's timeout retransmits the request (same
+    // sequence); the responder's duplicate table recognizes it and
+    // re-issues the reply after one directory lookup. The retransmitted
+    // request can itself be lost, costing another backoff round.
+    stats_->faults.retries++;
+    const Cycle backoff = tc.fault_retry_base
+                          << std::min<std::uint32_t>(attempt, 16);
+    const Cycle resend = std::max(d.at, ready + backoff);
+    const Delivery rq = net_->send_ex(request, resend);
+    if (rq.delivered) {
+      device_[reply.src].occupy(rq.at, tc.dir_lookup);
+      at = rq.at + tc.dir_lookup;
+    } else {
+      at = std::max(rq.at, resend + backoff);
+    }
+  }
+}
+
+}  // namespace dsm

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "net/fault.hpp"
 
 namespace dsm {
 
@@ -17,6 +18,7 @@ const char* to_string(MsgKind k) {
     case MsgKind::kWriteback: return "WB";
     case MsgKind::kHint: return "HINT";
     case MsgKind::kPageBulk: return "PAGE";
+    case MsgKind::kNack: return "NACK";
     case MsgKind::kCount: break;
   }
   return "?";
@@ -43,21 +45,37 @@ void Fabric::account(const Message& m) {
     stats_->node[m.src].traffic.add(m.cls(), m.total_bytes());
 }
 
-Cycle Fabric::send(const Message& m, Cycle ready) {
+Delivery Fabric::send_ex(const Message& m, Cycle ready) {
   account(m);
   const Cycle socc = occupancy(m, timing_->ni_send);
   const Cycle depart = send_[m.src].reserve(ready, socc) + socc;
   const Cycle at_dest = traverse(m, depart);
+  // A fault-gated route can dead-end (every detour walled in by link
+  // outages): the message is lost on the wire, like a drop.
+  if (at_dest == kNeverCycle) return Delivery{depart, false, false};
   const Cycle rocc = occupancy(m, timing_->ni_recv);
-  return recv_[m.dst].reserve(at_dest, rocc) + rocc;
+  return Delivery{recv_[m.dst].reserve(at_dest, rocc) + rocc, true, false};
+}
+
+Cycle Fabric::send(const Message& m, Cycle ready) {
+  const Delivery d = Fabric::send_ex(m, ready);
+  DSM_ASSERT(d.delivered, "undeliverable message on the reliable channel");
+  return d.at;
 }
 
 void Fabric::post(const Message& m, Cycle ready) {
   account(m);
   const Cycle socc = occupancy(m, timing_->ni_send);
   send_[m.src].occupy(ready, socc);
-  recv_[m.dst].occupy(traverse(m, ready + socc),
-                      occupancy(m, timing_->ni_recv));
+  const Cycle at_dest = traverse(m, ready + socc);
+  if (at_dest == kNeverCycle) return;  // eaten by a dead route
+  recv_[m.dst].occupy(at_dest, occupancy(m, timing_->ni_recv));
+}
+
+Cycle Fabric::drop_after_send(const Message& m, Cycle ready) {
+  account(m);
+  const Cycle socc = occupancy(m, timing_->ni_send);
+  return send_[m.src].reserve(ready, socc) + socc;
 }
 
 // ---------------------------------------------------------------------------
@@ -153,20 +171,80 @@ Cycle MeshFabric::cross(std::uint32_t router, LinkDir d, const Message& m,
   return start + timing().mesh_hop_latency;
 }
 
-Cycle MeshFabric::traverse(const Message& m, Cycle depart) {
-  if (!link_contention_enabled()) return depart + latency(m.src, m.dst);
-  const Cycle occ = link_occupancy(m);
-  std::uint32_t x = m.src % width_, y = m.src / width_;
-  const std::uint32_t xd = m.dst % width_, yd = m.dst / width_;
-  Cycle t = depart;
-  while (x != xd || y != yd) {
-    const LinkDir d = (x != xd) ? step_dir(x, xd, width_, /*x_dim=*/true)
+namespace {
+LinkDir reverse_dir(LinkDir d) {
+  switch (d) {
+    case LinkDir::kEast: return LinkDir::kWest;
+    case LinkDir::kWest: return LinkDir::kEast;
+    case LinkDir::kSouth: return LinkDir::kNorth;
+    case LinkDir::kNorth: return LinkDir::kSouth;
+    case LinkDir::kCount: break;
+  }
+  return LinkDir::kCount;
+}
+}  // namespace
+
+LinkDir MeshFabric::pick_step(std::uint32_t cur, std::uint32_t dst,
+                              LinkDir back, Cycle t) {
+  const std::uint32_t x = cur % width_, y = cur / width_;
+  const std::uint32_t xd = dst % width_, yd = dst / width_;
+  const LinkDir preferred = (x != xd)
+                                ? step_dir(x, xd, width_, /*x_dim=*/true)
                                 : step_dir(y, yd, height_, /*x_dim=*/false);
-    t = cross(y * width_ + x, d, m, occ, t);
-    const std::uint32_t next = neighbor(y * width_ + x, d);
-    DSM_DEBUG_ASSERT(next != kNoRouter, "route fell off the mesh");
-    x = next % width_;
-    y = next / width_;
+  // Candidate order: dimension-order step, the other productive
+  // dimension, then any detour direction.
+  LinkDir order[4];
+  int n = 0;
+  const auto push = [&](LinkDir d) {
+    for (int i = 0; i < n; ++i)
+      if (order[i] == d) return;
+    order[n++] = d;
+  };
+  push(preferred);
+  if (x != xd && y != yd) push(step_dir(y, yd, height_, /*x_dim=*/false));
+  push(LinkDir::kEast);
+  push(LinkDir::kWest);
+  push(LinkDir::kSouth);
+  push(LinkDir::kNorth);
+  // Pass 0 refuses to undo the previous hop; pass 1 backtracks out of
+  // dead ends.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < n; ++i) {
+      const LinkDir d = order[i];
+      if (pass == 0 && d == back) continue;
+      if (pass == 1 && d != back) continue;
+      if (neighbor(cur, d) == kNoRouter) continue;
+      if (fault_plan_ && fault_plan_->link_down(cur, d, t)) continue;
+      if (d != preferred && stats()) stats()->faults.reroutes++;
+      return d;
+    }
+  }
+  return LinkDir::kCount;  // walled in: the message dies here
+}
+
+Cycle MeshFabric::traverse(const Message& m, Cycle depart) {
+  const bool gated = fault_plan_ != nullptr && fault_plan_->has_link_faults();
+  if (!link_contention_enabled() && !gated)
+    return depart + latency(m.src, m.dst);
+  const Cycle occ = link_contention_enabled() ? link_occupancy(m) : 0;
+  std::uint32_t cur = m.src;
+  Cycle t = depart;
+  // Detours cannot exceed a perimeter walk of the grid; past this the
+  // route is livelocked around moving outages — treat it as lost.
+  const unsigned budget = 4 * (width_ + height_) + 8;
+  unsigned taken = 0;
+  LinkDir back = LinkDir::kCount;
+  while (cur != m.dst) {
+    if (++taken > budget) return kNeverCycle;
+    const LinkDir d = pick_step(cur, m.dst, back, t);
+    if (d == LinkDir::kCount) return kNeverCycle;
+    if (link_contention_enabled())
+      t = cross(cur, d, m, occ, t);
+    else
+      t += timing().mesh_hop_latency;
+    back = reverse_dir(d);
+    cur = neighbor(cur, d);
+    DSM_DEBUG_ASSERT(cur != kNoRouter, "route fell off the mesh");
   }
   return t;
 }
@@ -193,18 +271,24 @@ std::uint32_t MeshFabric::max_queue_depth_into(std::uint32_t router) const {
 }
 
 std::unique_ptr<Fabric> make_fabric(const SystemConfig& cfg, Stats* stats) {
+  std::unique_ptr<Fabric> f;
   switch (cfg.fabric) {
     case FabricKind::kNiConstant:
-      return std::make_unique<NiFabric>(cfg.nodes, cfg.timing, stats);
+      f = std::make_unique<NiFabric>(cfg.nodes, cfg.timing, stats);
+      break;
     case FabricKind::kMesh2d:
-      return std::make_unique<MeshFabric>(cfg.nodes, cfg.timing, stats,
-                                          cfg.mesh_width);
+      f = std::make_unique<MeshFabric>(cfg.nodes, cfg.timing, stats,
+                                       cfg.mesh_width);
+      break;
     case FabricKind::kTorus2d:
-      return std::make_unique<TorusFabric>(cfg.nodes, cfg.timing, stats,
-                                           cfg.mesh_width);
+      f = std::make_unique<TorusFabric>(cfg.nodes, cfg.timing, stats,
+                                        cfg.mesh_width);
+      break;
   }
-  DSM_ASSERT(false, "unknown fabric kind");
-  return nullptr;
+  DSM_ASSERT(f != nullptr, "unknown fabric kind");
+  if (cfg.faults.enabled())
+    f = std::make_unique<FaultyFabric>(std::move(f), cfg.faults, stats);
+  return f;
 }
 
 }  // namespace dsm

@@ -51,6 +51,20 @@
 
 namespace dsm {
 
+class FaultPlan;
+
+// Outcome of an injectable send (send_ex). On a perfect fabric every
+// message arrives: delivered is true and `at` is the payload-available
+// time at the destination. The fault layer (net/fault.hpp) can return
+// delivered = false (message lost in flight or routed into a dead end;
+// `at` is then the depart time a timeout clock starts from) or
+// duplicated = true (a second copy also crossed the wire).
+struct Delivery {
+  Cycle at = 0;
+  bool delivered = true;
+  bool duplicated = false;
+};
+
 class Fabric {
  public:
   Fabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats)
@@ -58,13 +72,34 @@ class Fabric {
   virtual ~Fabric() = default;
 
   // Deliver one critical-path message; returns the time the payload is
-  // available at the destination device. The caller waits.
-  Cycle send(const Message& m, Cycle ready);
+  // available at the destination device. The caller waits. This is the
+  // *reliable* channel: the fault layer never perturbs it (retry
+  // escalation and lazy writebacks ride on it).
+  virtual Cycle send(const Message& m, Cycle ready);
 
   // Off-critical-path traffic (writebacks, replacement hints): occupies
   // the NIs (and any links en route) and is accounted, but the caller
-  // does not wait.
-  void post(const Message& m, Cycle ready);
+  // does not wait. Reliable, like send().
+  virtual void post(const Message& m, Cycle ready);
+
+  // Injectable send: identical timing to send() on a perfect fabric,
+  // but the fault layer may drop, duplicate, or delay the message. The
+  // reliable-transaction layer (dsm/recovery.cpp) is the only caller
+  // that inspects the Delivery outcome.
+  virtual Delivery send_ex(const Message& m, Cycle ready);
+
+  // True when a fault-injecting decorator wraps this fabric; the
+  // protocol's recovery machinery short-circuits to plain send() when
+  // false, keeping the fault layer zero-cost-when-off.
+  virtual bool fault_injection() const { return false; }
+
+  // The underlying topology backend (unwraps fault decorators).
+  virtual Fabric* backend() { return this; }
+
+  // Fault-layer hook: charge and occupy the send half of `m` as if it
+  // departed normally, but never deliver it — the wire eats the
+  // message. Returns the depart time.
+  Cycle drop_after_send(const Message& m, Cycle ready);
 
   virtual const char* name() const = 0;
 
@@ -85,15 +120,16 @@ class Fabric {
     return m;
   }
 
-  // --- introspection ------------------------------------------------------
+  // --- introspection (virtual so fault decorators can delegate to the
+  // wrapped backend, whose counters are the real ones) ---------------------
   std::uint32_t nodes() const { return std::uint32_t(send_.size()); }
-  std::uint64_t messages() const { return messages_; }
-  std::uint64_t messages(MsgKind k) const {
+  virtual std::uint64_t messages() const { return messages_; }
+  virtual std::uint64_t messages(MsgKind k) const {
     return msgs_by_kind_[std::size_t(k)];
   }
-  std::uint64_t bytes() const { return bytes_; }
-  const Resource& send_ni(NodeId n) const { return send_[n]; }
-  const Resource& recv_ni(NodeId n) const { return recv_[n]; }
+  virtual std::uint64_t bytes() const { return bytes_; }
+  virtual const Resource& send_ni(NodeId n) const { return send_[n]; }
+  virtual const Resource& recv_ni(NodeId n) const { return recv_[n]; }
   const TimingConfig& timing() const { return *timing_; }
 
  protected:
@@ -195,6 +231,14 @@ class MeshFabric : public Fabric {
   // (the congestion the hot-home sweep measures).
   std::uint32_t max_queue_depth_into(std::uint32_t router) const;
 
+  // Fault-aware routing: when a plan with link outages is installed,
+  // traverse() walks hop by hop and detours around dead links (minimal
+  // adaptive routing: the dimension-order step is preferred, the other
+  // productive dimension next, then any live detour; immediate
+  // backtracking only as a last resort). With no plan — or while the
+  // plan is suspended — the walk reproduces the X-Y route bit-exactly.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
  protected:
   MeshFabric(std::uint32_t nodes, const TimingConfig& t, Stats* stats,
              std::uint32_t width, bool wrap);
@@ -216,11 +260,20 @@ class MeshFabric : public Fabric {
   // Next-step direction along dimension-order routing (X fully first).
   LinkDir step_dir(std::uint32_t cur, std::uint32_t dst,
                    std::uint32_t size, bool x_dim) const;
+  // Choose the next hop out of `cur` toward `dst`, avoiding links the
+  // fault plan has down at time `t`. `back` is the direction that would
+  // undo the previous hop (kCount on the first hop); it is only taken
+  // when every other live candidate is exhausted. Returns kCount when
+  // the router is fully walled in. Bumps the reroute counter when the
+  // choice deviates from the dimension-order step.
+  LinkDir pick_step(std::uint32_t cur, std::uint32_t dst, LinkDir back,
+                    Cycle t);
 
   std::uint32_t width_;
   std::uint32_t height_;
   bool wrap_;
   std::vector<MeshLink> links_;  // routers() x 4, indexed router*4 + dir
+  const FaultPlan* fault_plan_ = nullptr;
 };
 
 // 2D torus: the mesh router core with wraparound links; each dimension

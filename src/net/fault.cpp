@@ -1,0 +1,142 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dsm {
+
+namespace {
+
+// Per-source perturbation streams live at 0x10000 + node; the outage
+// generator at 0x20000. Both far from the engine's per-home streams
+// (stream id = node), so fault draws never correlate with wakeup
+// scheduling.
+constexpr std::uint64_t kSrcStreamBase = 0x10000;
+constexpr std::uint64_t kLinkStream = 0x20000;
+
+// Map a percentage onto a threshold over the 53-bit draw space.
+std::uint64_t pct_threshold(double pct) {
+  const double clamped = std::min(100.0, std::max(0.0, pct));
+  return std::uint64_t(clamped * double(std::uint64_t(1) << 53) / 100.0);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint32_t nodes,
+                     std::uint32_t routers)
+    : cfg_(cfg) {
+  drop_below_ = pct_threshold(cfg_.drop_pct);
+  dup_below_ = drop_below_ + pct_threshold(cfg_.dup_pct);
+  delay_below_ = dup_below_ + pct_threshold(cfg_.delay_pct);
+  DSM_ASSERT(delay_below_ <= (std::uint64_t(1) << 53),
+             "fault rates sum past 100%");
+
+  src_rng_.reserve(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    src_rng_.push_back(Rng::for_stream(cfg_.seed, kSrcStreamBase + n));
+
+  const std::size_t nlinks =
+      std::size_t(routers) * std::size_t(LinkDir::kCount);
+  link_outages_.resize(nlinks);
+  for (const FaultConfig::LinkDown& ld : cfg_.link_downs) {
+    DSM_ASSERT(ld.router < routers && ld.dir < 4, "link-down out of range");
+    link_outages_[std::size_t(ld.router) * 4 + ld.dir].push_back(
+        Outage{ld.down, ld.up});
+  }
+  Rng gen = Rng::for_stream(cfg_.seed, kLinkStream);
+  for (std::uint32_t i = 0; i < cfg_.rand_link_downs; ++i) {
+    const std::uint32_t router = std::uint32_t(gen.next_below(routers));
+    const std::uint32_t dir = std::uint32_t(gen.next_below(4));
+    const Cycle down = gen.next_below(cfg_.rand_link_down_horizon);
+    link_outages_[std::size_t(router) * 4 + dir].push_back(
+        Outage{down, down + cfg_.rand_link_down_len});
+  }
+  for (const auto& v : link_outages_)
+    if (!v.empty()) has_link_faults_ = true;
+}
+
+FaultPlan::Perturb FaultPlan::draw(NodeId src) {
+  DSM_DEBUG_ASSERT(src < src_rng_.size());
+  const std::uint64_t u = src_rng_[src].next_u64() >> 11;  // 53 bits
+  if (u < drop_below_) return Perturb::kDrop;
+  if (u < dup_below_) return Perturb::kDup;
+  if (u < delay_below_) return Perturb::kDelay;
+  return Perturb::kNone;
+}
+
+bool FaultPlan::link_down(std::uint32_t router, LinkDir d, Cycle t) const {
+  if (suspend_ > 0 || !has_link_faults_) return false;
+  const std::size_t idx =
+      std::size_t(router) * std::size_t(LinkDir::kCount) + std::size_t(d);
+  if (idx >= link_outages_.size()) return false;
+  for (const Outage& o : link_outages_[idx])
+    if (t >= o.down && t < o.up) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFabric
+// ---------------------------------------------------------------------------
+
+FaultyFabric::FaultyFabric(std::unique_ptr<Fabric> inner,
+                           const FaultConfig& cfg, Stats* stats)
+    : Fabric(inner->nodes(), inner->timing(), stats),
+      inner_(std::move(inner)),
+      plan_(cfg, inner_->nodes(),
+            [&]() -> std::uint32_t {
+              if (const auto* mesh =
+                      dynamic_cast<const MeshFabric*>(inner_.get()))
+                return mesh->routers();
+              return inner_->nodes();
+            }()) {
+  if (auto* mesh = dynamic_cast<MeshFabric*>(inner_.get()))
+    mesh->set_fault_plan(&plan_);
+}
+
+FaultyFabric::~FaultyFabric() {
+  if (auto* mesh = dynamic_cast<MeshFabric*>(inner_.get()))
+    mesh->set_fault_plan(nullptr);
+}
+
+FaultStats& FaultyFabric::faults() {
+  return stats() ? stats()->faults : local_faults_;
+}
+
+Cycle FaultyFabric::send(const Message& m, Cycle ready) {
+  FaultPlan::SuspendScope reliable(&plan_);
+  return inner_->send(m, ready);
+}
+
+void FaultyFabric::post(const Message& m, Cycle ready) {
+  FaultPlan::SuspendScope reliable(&plan_);
+  inner_->post(m, ready);
+}
+
+Delivery FaultyFabric::send_ex(const Message& m, Cycle ready) {
+  switch (plan_.draw(m.src)) {
+    case FaultPlan::Perturb::kDrop:
+      // The sender's NI and byte accounting see a normal departure; the
+      // wire eats the message.
+      faults().drops_injected++;
+      return Delivery{inner_->drop_after_send(m, ready), false, false};
+    case FaultPlan::Perturb::kDup: {
+      faults().dups_injected++;
+      Delivery d = inner_->send_ex(m, ready);
+      (void)inner_->send_ex(m, ready);  // the duplicate copy, fully charged
+      d.duplicated = true;
+      return d;
+    }
+    case FaultPlan::Perturb::kDelay: {
+      faults().delays_injected++;
+      Delivery d = inner_->send_ex(m, ready);
+      if (d.delivered) d.at += plan_.delay_cycles();
+      return d;
+    }
+    case FaultPlan::Perturb::kNone:
+      break;
+  }
+  return inner_->send_ex(m, ready);
+}
+
+}  // namespace dsm

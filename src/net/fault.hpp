@@ -1,0 +1,136 @@
+// Deterministic fault injection over any fabric backend.
+//
+// FaultPlan is a seeded, reproducible fault schedule:
+//
+//   - Per-message perturbations (drop / duplicate / extra delay) are
+//     decided by ONE 53-bit draw per injectable message from a
+//     per-source-node Rng stream (Rng::for_stream(seed, 0x10000 + src)).
+//     Because the sharded engine serializes shard turns on a baton
+//     ring, every node's send order is engine-invariant, so the fault
+//     decisions — and therefore every downstream retry and byte — are
+//     bit-identical at every shard count. The three outcome ranges are
+//     disjoint slices of [0, 2^53), so changing one rate never shifts
+//     another rate's decisions.
+//
+//   - Directed-link outages (router, direction, [down, up) cycle
+//     interval) for the mesh/torus fabrics, from an explicit list plus
+//     optionally a seeded batch drawn from stream 0x20000. MeshFabric
+//     consults the plan per hop and detours around dead links
+//     (fabric.cpp pick_step), counting reroutes.
+//
+// FaultyFabric is the injecting decorator make_fabric() installs when
+// FaultConfig::enabled(). Only send_ex() is perturbed; the plain
+// send()/post() channel suspends the plan for the duration of the call
+// (SuspendScope), so retry escalation and lazy writebacks ride on a
+// reliable wire and see the pristine X-Y routes. With faults disabled
+// no FaultyFabric exists at all — the fast paths are untouched.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/fabric.hpp"
+
+namespace dsm {
+
+class FaultPlan {
+ public:
+  enum class Perturb : std::uint8_t { kNone = 0, kDrop, kDup, kDelay };
+
+  // `routers` sizes the link-outage table (MeshFabric::routers(); equal
+  // to `nodes` for fabrics without internal links, where outages are
+  // simply never consulted).
+  FaultPlan(const FaultConfig& cfg, std::uint32_t nodes,
+            std::uint32_t routers);
+
+  // One decision per injectable message, from the per-source stream.
+  Perturb draw(NodeId src);
+  Cycle delay_cycles() const { return cfg_.delay_cycles; }
+
+  // Link-outage queries (mesh/torus routing). link_down() is false
+  // while the plan is suspended: the reliable channel routes as if the
+  // fabric were perfect.
+  bool has_link_faults() const { return has_link_faults_; }
+  bool link_down(std::uint32_t router, LinkDir d, Cycle t) const;
+
+  bool suspended() const { return suspend_ > 0; }
+
+  // RAII plan suspension for the reliable channel (re-entrant).
+  class SuspendScope {
+   public:
+    explicit SuspendScope(FaultPlan* p) : p_(p) { p_->suspend_++; }
+    ~SuspendScope() { p_->suspend_--; }
+    SuspendScope(const SuspendScope&) = delete;
+    SuspendScope& operator=(const SuspendScope&) = delete;
+
+   private:
+    FaultPlan* p_;
+  };
+
+ private:
+  struct Outage {
+    Cycle down;
+    Cycle up;
+  };
+
+  FaultConfig cfg_;
+  // Disjoint outcome thresholds over the 53-bit draw:
+  //   [0, drop_below_)         -> drop
+  //   [drop_below_, dup_below_)  -> duplicate
+  //   [dup_below_, delay_below_) -> delay
+  std::uint64_t drop_below_ = 0;
+  std::uint64_t dup_below_ = 0;
+  std::uint64_t delay_below_ = 0;
+  std::vector<Rng> src_rng_;                       // per source node
+  std::vector<std::vector<Outage>> link_outages_;  // router*4 + dir
+  bool has_link_faults_ = false;
+  int suspend_ = 0;
+};
+
+// Fault-injecting decorator: owns the backend and the plan, perturbs
+// send_ex(), and delegates everything else. Its own base-class state
+// (NIs, counters) is unused — introspection reaches the backend's.
+class FaultyFabric final : public Fabric {
+ public:
+  FaultyFabric(std::unique_ptr<Fabric> inner, const FaultConfig& cfg,
+               Stats* stats);
+  ~FaultyFabric() override;
+
+  const char* name() const override { return inner_->name(); }
+  Cycle latency(NodeId from, NodeId to) const override {
+    return inner_->latency(from, to);
+  }
+
+  Cycle send(const Message& m, Cycle ready) override;
+  void post(const Message& m, Cycle ready) override;
+  Delivery send_ex(const Message& m, Cycle ready) override;
+
+  bool fault_injection() const override { return true; }
+  Fabric* backend() override { return inner_->backend(); }
+
+  std::uint64_t messages() const override { return inner_->messages(); }
+  std::uint64_t messages(MsgKind k) const override {
+    return inner_->messages(k);
+  }
+  std::uint64_t bytes() const override { return inner_->bytes(); }
+  const Resource& send_ni(NodeId n) const override {
+    return inner_->send_ni(n);
+  }
+  const Resource& recv_ni(NodeId n) const override {
+    return inner_->recv_ni(n);
+  }
+
+  FaultPlan& plan() { return plan_; }
+
+ private:
+  FaultStats& faults();
+
+  std::unique_ptr<Fabric> inner_;
+  FaultPlan plan_;
+  FaultStats local_faults_;  // fallback when no Stats is attached
+};
+
+}  // namespace dsm

@@ -38,6 +38,7 @@ enum class MsgKind : std::uint8_t {
   kWriteback,  // dirty block returning home
   kHint,       // clean-replacement notice to the home directory
   kPageBulk,   // bulk page copy (migration / replication)
+  kNack,       // duplicate-transaction rejection from the home
   kCount,
 };
 
@@ -66,6 +67,10 @@ struct Message {
   NodeId dst = kNoNode;
   Addr addr = 0;                    // block number or page number
   std::uint32_t payload_blocks = 0; // data payload in coherence blocks
+  // Transaction sequence number for duplicate suppression at the home.
+  // 0 with the fault layer off; reliable transactions stamp a per-
+  // requester sequence so retransmissions are idempotent.
+  std::uint32_t seq = 0;
 
   std::uint32_t header_bytes() const { return kMsgHeaderBytes; }
   std::uint32_t payload_bytes() const {
@@ -93,6 +98,11 @@ struct Message {
   static Message page_bulk(NodeId src, NodeId dst, Addr page,
                            std::uint32_t blocks) {
     return Message{MsgKind::kPageBulk, src, dst, page, blocks};
+  }
+  // Duplicate-transaction rejection: the home has already served `seq`
+  // from this requester; the in-flight (or re-issued) reply stands.
+  static Message nack(NodeId src, NodeId dst, Addr blk, std::uint32_t seq) {
+    return Message{MsgKind::kNack, src, dst, blk, 0, seq};
   }
 };
 

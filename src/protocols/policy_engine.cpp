@@ -87,6 +87,9 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
       if (ev.node != pi.home) obs.remote_bytes[ev.node] += ev.bytes;
       break;
     case PolicyEventKind::kPageOpComplete:
+      // An aborted op (fault layer) changed nothing: keep the counters
+      // so the policy can re-trigger once the page-op window drains.
+      if (ev.failed) break;
       // Migration starts the page's counter history over (the old
       // home's usage comparison is meaningless at the new home).
       if (ev.op == PageOpKind::kMigrate) obs.reset_migrep_counters();

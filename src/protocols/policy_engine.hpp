@@ -74,6 +74,7 @@ struct PolicyEvent {
   bool is_write = false;         // kMiss / kUpgrade
   MissClass miss_class = MissClass::kCold;  // kRemoteFetch
   PageOpKind op = PageOpKind::kMigrate;     // kPageOpComplete
+  bool failed = false;           // kPageOpComplete: op aborted (fault layer)
   // Engine-computed gate (kRemoteFetch): false while the page is still
   // inside the R-NUMA+MigRep integration's initial observation interval
   // (Section 6.4) — relocation decisions must hold off.

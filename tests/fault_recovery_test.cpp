@@ -1,0 +1,449 @@
+// Fault-injection and protocol-recovery tests.
+//
+// Three layers:
+//   1. Unit tests per fault primitive: FaultPlan draw determinism and
+//      rate independence, FaultyFabric drop/duplicate/delay semantics,
+//      mesh link outages with adaptive rerouting, and the recovery
+//      paths (retry, NACK on duplicate, hard-error escalation, clean
+//      page-op abort).
+//   2. Rng stream independence (the property the whole shard-invariant
+//      fault scheme rests on).
+//   3. A randomized chaos soak: full workload runs under escalating
+//      fault rates, on the serial and the sharded engine, asserting
+//      workload verification, the global coherence invariant, serial/
+//      sharded bit-identity of results and fault counters, and
+//      run-to-run determinism at a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dsm/cluster.hpp"
+#include "harness/runner.hpp"
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "protocols/system_factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace dsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng stream independence
+// ---------------------------------------------------------------------------
+
+TEST(RngStreams, IndependentOfCreationAndDrawOrder) {
+  const std::uint64_t seed = 0xfeedULL;
+  // Reference sequences, each stream drawn in isolation.
+  Rng a_ref = Rng::for_stream(seed, 1);
+  Rng b_ref = Rng::for_stream(seed, 2);
+  std::vector<std::uint64_t> a_seq, b_seq;
+  for (int i = 0; i < 64; ++i) a_seq.push_back(a_ref.next_u64());
+  for (int i = 0; i < 64; ++i) b_seq.push_back(b_ref.next_u64());
+
+  // Interleaved draws from freshly created streams (opposite creation
+  // order) reproduce the same per-stream sequences: a stream's values
+  // depend only on (seed, stream_id).
+  Rng b = Rng::for_stream(seed, 2);
+  Rng a = Rng::for_stream(seed, 1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next_u64(), a_seq[i]) << "stream 1 draw " << i;
+    EXPECT_EQ(b.next_u64(), b_seq[i]) << "stream 2 draw " << i;
+  }
+
+  // Distinct streams are decorrelated, not shifted copies.
+  EXPECT_NE(a_seq[0], b_seq[0]);
+  EXPECT_NE(a_seq[1], b_seq[0]);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan draws
+// ---------------------------------------------------------------------------
+
+FaultConfig plan_cfg(double drop, double dup, double delay,
+                     std::uint64_t seed = 42) {
+  FaultConfig fc;
+  fc.seed = seed;
+  fc.drop_pct = drop;
+  fc.dup_pct = dup;
+  fc.delay_pct = delay;
+  return fc;
+}
+
+TEST(FaultPlan, SaturatedRatesForceEachOutcome) {
+  FaultPlan drop(plan_cfg(100, 0, 0), 4, 4);
+  FaultPlan dup(plan_cfg(0, 100, 0), 4, 4);
+  FaultPlan delay(plan_cfg(0, 0, 100), 4, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(drop.draw(1), FaultPlan::Perturb::kDrop);
+    EXPECT_EQ(dup.draw(1), FaultPlan::Perturb::kDup);
+    EXPECT_EQ(delay.draw(1), FaultPlan::Perturb::kDelay);
+  }
+}
+
+TEST(FaultPlan, DrawRateMatchesConfiguredPercentage) {
+  FaultPlan p(plan_cfg(10, 0, 0), 2, 2);
+  int dropped = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (p.draw(0) == FaultPlan::Perturb::kDrop) dropped++;
+  EXPECT_GT(dropped, n / 10 - n / 100);  // 9%..11% band
+  EXPECT_LT(dropped, n / 10 + n / 100);
+}
+
+TEST(FaultPlan, RatesAreDisjointSlicesOfTheDraw) {
+  // The drop decisions must be identical whether or not a dup rate is
+  // stacked on top: each rate owns a disjoint slice of [0, 2^53).
+  FaultPlan drop_only(plan_cfg(5, 0, 0), 2, 2);
+  FaultPlan drop_and_dup(plan_cfg(5, 20, 0), 2, 2);
+  for (int i = 0; i < 20000; ++i) {
+    const bool a = drop_only.draw(0) == FaultPlan::Perturb::kDrop;
+    const bool b = drop_and_dup.draw(0) == FaultPlan::Perturb::kDrop;
+    EXPECT_EQ(a, b) << "draw " << i;
+  }
+}
+
+TEST(FaultPlan, PerSourceStreamsAreIndependent) {
+  // Draws for source 0 are unaffected by how many draws source 1 makes
+  // in between — the property that makes fault schedules shard-count
+  // invariant (per-node send order is engine-invariant; cross-node
+  // interleaving is not).
+  FaultPlan lone(plan_cfg(30, 10, 5), 2, 2);
+  FaultPlan mixed(plan_cfg(30, 10, 5), 2, 2);
+  for (int i = 0; i < 5000; ++i) {
+    for (int j = 0; j <= i % 3; ++j) (void)mixed.draw(1);
+    EXPECT_EQ(lone.draw(0), mixed.draw(0)) << "draw " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFabric perturbation semantics
+// ---------------------------------------------------------------------------
+
+struct FaultyNi {
+  TimingConfig timing{};
+  std::unique_ptr<FaultyFabric> net;
+  explicit FaultyNi(const FaultConfig& fc, Stats* stats = nullptr) {
+    net = std::make_unique<FaultyFabric>(
+        std::make_unique<NiFabric>(4, timing, stats), fc, stats);
+  }
+};
+
+TEST(FaultyFabric, DropChargesTheSendHalfOnly) {
+  FaultyNi f(plan_cfg(100, 0, 0));
+  const Message m = Message::control(MsgKind::kGetS, 0, 1, 0);
+  const Delivery d = f.net->send_ex(m, 1000);
+  EXPECT_FALSE(d.delivered);
+  // The message was accounted (it left the source) but never reached
+  // the destination NI.
+  EXPECT_EQ(f.net->messages(), 1u);
+  EXPECT_EQ(f.net->recv_ni(1).busy_until(), 0u);
+  EXPECT_GT(f.net->send_ni(0).busy_until(), 1000u);
+}
+
+TEST(FaultyFabric, ReliableChannelIgnoresThePlan) {
+  // send()/post() suspend the plan: at 100% drop they still deliver.
+  FaultyNi f(plan_cfg(100, 0, 0));
+  const Message m = Message::control(MsgKind::kGetS, 0, 1, 0);
+  const Cycle at = f.net->send(m, 1000);
+  EXPECT_GT(at, 1000u);
+  EXPECT_FALSE(f.net->plan().suspended());  // scope released
+}
+
+TEST(FaultyFabric, DuplicateDeliversAndChargesTwice) {
+  FaultyNi f(plan_cfg(0, 100, 0));
+  const Message m = Message::control(MsgKind::kGetS, 0, 1, 0);
+  const Delivery d = f.net->send_ex(m, 1000);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_TRUE(d.duplicated);
+  EXPECT_EQ(f.net->messages(), 2u);  // the copy really crossed the wire
+}
+
+TEST(FaultyFabric, DelayAddsConfiguredCycles) {
+  FaultConfig fc = plan_cfg(0, 0, 100);
+  fc.delay_cycles = 777;
+  FaultyNi faulty(fc);
+  FaultyNi clean(plan_cfg(0, 0, 0));
+  const Message m = Message::control(MsgKind::kGetS, 0, 1, 0);
+  const Delivery slow = faulty.net->send_ex(m, 1000);
+  const Delivery fast = clean.net->send_ex(m, 1000);
+  ASSERT_TRUE(slow.delivered);
+  EXPECT_EQ(slow.at, fast.at + 777);
+}
+
+TEST(FaultyFabric, FaultsOffDrawsNothing) {
+  // enabled() gates construction in make_fabric; a zero-rate plan also
+  // perturbs nothing if built anyway.
+  FaultyNi f(plan_cfg(0, 0, 0));
+  const Message m = Message::control(MsgKind::kGetS, 0, 1, 0);
+  const Delivery d = f.net->send_ex(m, 1000);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_FALSE(d.duplicated);
+  FaultConfig off;
+  EXPECT_FALSE(off.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Mesh link outages and adaptive rerouting
+// ---------------------------------------------------------------------------
+
+SystemConfig mesh_cfg(std::uint32_t nodes) {
+  SystemConfig cfg = SystemConfig::base(SystemKind::kCcNuma);
+  cfg.nodes = nodes;
+  cfg.fabric = FabricKind::kMesh2d;
+  return cfg;
+}
+
+TEST(MeshReroute, DetoursAroundADeadLinkAndCountsIt) {
+  SystemConfig cfg = mesh_cfg(16);  // 4x4 grid
+  // Kill the eastward link out of router 0 for all time: the X-Y route
+  // 0 -> 3 must leave through south instead and detour back north.
+  cfg.faults.link_downs.push_back(
+      {0, std::uint8_t(LinkDir::kEast), 0, kNeverCycle});
+  Stats stats(16);
+  auto net = make_fabric(cfg, &stats);
+  ASSERT_TRUE(net->fault_injection());
+  const Message m = Message::control(MsgKind::kGetS, 0, 3, 0);
+  const Delivery d = net->send_ex(m, 1000);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_GT(stats.faults.reroutes, 0u);
+
+  // The reliable channel suspends the plan and takes the pristine X-Y
+  // route: no further reroutes are counted.
+  const std::uint64_t before = stats.faults.reroutes;
+  (void)net->send(m, 2000);
+  EXPECT_EQ(stats.faults.reroutes, before);
+}
+
+TEST(MeshReroute, OutageWindowIsTemporal) {
+  SystemConfig cfg = mesh_cfg(16);
+  cfg.faults.link_downs.push_back(
+      {0, std::uint8_t(LinkDir::kEast), 5000, 9000});
+  Stats stats(16);
+  auto net = make_fabric(cfg, &stats);
+  const Message m = Message::control(MsgKind::kGetS, 0, 3, 0);
+  (void)net->send_ex(m, 100);  // before the outage: straight X-Y
+  EXPECT_EQ(stats.faults.reroutes, 0u);
+  (void)net->send_ex(m, 6000);  // inside it: detour
+  EXPECT_GT(stats.faults.reroutes, 0u);
+}
+
+TEST(MeshReroute, WalledInCornerLosesTheMessage) {
+  SystemConfig cfg = mesh_cfg(16);
+  // Corner router 0 has only east and south links; kill both.
+  cfg.faults.link_downs.push_back(
+      {0, std::uint8_t(LinkDir::kEast), 0, kNeverCycle});
+  cfg.faults.link_downs.push_back(
+      {0, std::uint8_t(LinkDir::kSouth), 0, kNeverCycle});
+  Stats stats(16);
+  auto net = make_fabric(cfg, &stats);
+  const Message m = Message::control(MsgKind::kGetS, 0, 3, 0);
+  const Delivery d = net->send_ex(m, 1000);
+  EXPECT_FALSE(d.delivered);  // upper layer treats this as a loss
+}
+
+// ---------------------------------------------------------------------------
+// Protocol recovery
+// ---------------------------------------------------------------------------
+
+struct FaultySystem {
+  SystemConfig cfg;
+  Stats stats;
+  std::unique_ptr<DsmSystem> sys;
+
+  FaultySystem(SystemKind kind, const FaultConfig& fc, std::uint32_t nodes = 4)
+      : cfg(SystemConfig::base(kind)), stats(nodes) {
+    cfg.nodes = nodes;
+    cfg.cpus_per_node = 1;
+    cfg.faults = fc;
+    sys = make_system(cfg, &stats);
+  }
+  Cycle go(NodeId node, Addr addr, bool write, Cycle start) {
+    return sys->access({node, node, addr, write, start});
+  }
+};
+
+TEST(Recovery, RetriesRecoverLostRequests) {
+  FaultConfig fc = plan_cfg(40, 0, 0, /*seed=*/7);
+  FaultySystem s(SystemKind::kCcNuma, fc);
+  Cycle t = 1000;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId n = NodeId(i % 4);
+    const Addr a = Addr(0x10000 + (i % 16) * kBlockBytes);
+    t = s.go(n, a, (i % 3) == 0, t) + 10;
+  }
+  EXPECT_GT(s.stats.faults.drops_injected, 0u);
+  EXPECT_GT(s.stats.faults.retries, 0u);
+  s.sys->check_coherence();
+}
+
+TEST(Recovery, DuplicatesAreNackedNotReexecuted) {
+  FaultConfig fc = plan_cfg(0, 100, 0);
+  FaultySystem s(SystemKind::kCcNuma, fc);
+  Cycle t = 1000;
+  for (int i = 0; i < 50; ++i) {
+    const NodeId n = NodeId(i % 4);
+    const Addr a = Addr(0x10000 + (i % 8) * kBlockBytes);
+    t = s.go(n, a, (i % 2) == 0, t) + 10;
+  }
+  EXPECT_GT(s.stats.faults.nacks, 0u);
+  s.sys->check_coherence();
+}
+
+TEST(Recovery, TotalLossEscalatesToHardErrorButCompletes) {
+  FaultConfig fc = plan_cfg(100, 0, 0);
+  FaultySystem s(SystemKind::kCcNuma, fc);
+  const Cycle end = s.go(1, 0x20000, false, 1000);
+  s.go(2, 0x20000, true, end + 100);  // remote transactions both ways
+  EXPECT_GT(s.stats.faults.hard_errors, 0u);
+  s.sys->check_coherence();
+}
+
+TEST(Recovery, BulkPageOpAbortsCleanly) {
+  FaultConfig fc = plan_cfg(100, 0, 0);
+  FaultySystem s(SystemKind::kCcNumaRep, fc);
+  const Addr a = 0x30000;
+  s.go(0, a, false, 0);  // bind home at node 0
+  const Addr page = page_of(a);
+
+  const Cycle end = s.sys->replicate_page(page, 1, 20000);
+  EXPECT_EQ(s.stats.faults.aborted_page_ops, 1u);
+  const PageInfo* pi = s.sys->page_table().find(page);
+  ASSERT_NE(pi, nullptr);
+  EXPECT_FALSE(pi->replicated);  // mapping untouched by the abort
+  EXPECT_EQ(s.stats.node[1].page_replications, 0u);
+  EXPECT_GE(pi->op_pending_until, end);
+  s.sys->check_coherence();
+
+  const Cycle end2 = s.sys->migrate_page(page, 1, end + 100000);
+  EXPECT_EQ(s.stats.faults.aborted_page_ops, 2u);
+  EXPECT_EQ(s.sys->page_table().find(page)->home, 0u);  // still home 0
+  EXPECT_EQ(s.stats.node[1].page_migrations, 0u);
+  (void)end2;
+  s.sys->check_coherence();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak
+// ---------------------------------------------------------------------------
+
+struct ChaosResult {
+  Cycle cycles = 0;
+  std::uint64_t bytes = 0;
+  FaultStats faults;
+};
+
+bool operator==(const ChaosResult& a, const ChaosResult& b) {
+  return a.cycles == b.cycles && a.bytes == b.bytes &&
+         a.faults.drops_injected == b.faults.drops_injected &&
+         a.faults.dups_injected == b.faults.dups_injected &&
+         a.faults.delays_injected == b.faults.delays_injected &&
+         a.faults.retries == b.faults.retries &&
+         a.faults.nacks == b.faults.nacks &&
+         a.faults.reroutes == b.faults.reroutes &&
+         a.faults.aborted_page_ops == b.faults.aborted_page_ops &&
+         a.faults.hard_errors == b.faults.hard_errors;
+}
+
+// run_one() with the two extra assertions the harness cannot make:
+// workload verification runs inside (spec.verify), and the global
+// coherence invariant is checked on the final state.
+ChaosResult run_chaos(const RunSpec& spec) {
+  Stats stats(spec.system.nodes);
+  auto system = make_system(spec.system, &stats);
+  std::unique_ptr<Engine> engine_ptr;
+  if (spec.system.shards > 0) {
+    engine_ptr = std::make_unique<ShardedEngine>(
+        spec.system, system.get(), &stats, spec.system.shards,
+        system->fabric().min_wire_latency(), &system->arena());
+  } else {
+    engine_ptr = std::make_unique<Engine>(spec.system, system.get(), &stats);
+  }
+  Engine& engine = *engine_ptr;
+
+  SharedSpace space;
+  auto workload = make_workload(spec.workload, spec.scale);
+  const std::uint32_t nthreads = spec.system.total_cpus();
+  workload->setup(engine, space, nthreads);
+  std::vector<WorkerCtx> ctxs(nthreads);
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    ctxs[t].cpu = &engine.cpu(t);
+    ctxs[t].tid = t;
+    ctxs[t].nthreads = nthreads;
+    ctxs[t].rng.reseed(spec.system.seed + t);
+    engine.spawn(t, workload->body(ctxs[t]));
+  }
+  system->parallel_begin(0);
+  engine.run();
+  system->parallel_end(engine.finish_time());
+
+  workload->verify();          // data correctness under faults
+  system->check_coherence();   // protocol invariant on the final state
+
+  ChaosResult r;
+  r.cycles = engine.finish_time();
+  r.bytes = system->fabric().bytes();
+  r.faults = stats.faults;
+  return r;
+}
+
+RunSpec chaos_spec(double drop_pct, std::uint32_t shards) {
+  RunSpec spec = paper_spec(SystemKind::kCcNumaMigRep, "raytrace",
+                            Scale::kTiny);
+  spec.system.faults.seed = 0xC0FFEEULL;
+  spec.system.faults.drop_pct = drop_pct;
+  spec.system.faults.dup_pct = drop_pct / 2;
+  spec.system.faults.delay_pct = drop_pct;
+  spec.system.shards = shards;
+  // Inline by default for speed; the TSan CI leg exports
+  // DSM_SHARD_THREADS=threads so the soak's sharded runs cross real
+  // baton handoffs under the race detector.
+  spec.system.shard_threads = SystemConfig::ShardThreads::kInline;
+  if (const char* s = std::getenv("DSM_SHARD_THREADS"))
+    if (shards > 0 && std::strcmp(s, "threads") == 0)
+      spec.system.shard_threads = SystemConfig::ShardThreads::kThreaded;
+  return spec;
+}
+
+TEST(ChaosSoak, SurvivesEscalatingRatesSerialAndSharded) {
+  std::uint64_t last_drops = 0;
+  for (const double rate : {0.5, 2.0, 10.0, 30.0}) {
+    const ChaosResult serial = run_chaos(chaos_spec(rate, 0));
+    const ChaosResult sharded = run_chaos(chaos_spec(rate, 4));
+    // The fault schedule keys off per-source streams, so the sharded
+    // engine replays the exact same faults — and must land on the exact
+    // same recovered state and costs.
+    EXPECT_TRUE(serial == sharded) << "rate " << rate;
+    EXPECT_GE(serial.faults.drops_injected, last_drops);
+    last_drops = serial.faults.drops_injected;
+  }
+  EXPECT_GT(last_drops, 0u);
+}
+
+TEST(ChaosSoak, FixedSeedIsBitReproducible) {
+  const ChaosResult a = run_chaos(chaos_spec(10.0, 0));
+  const ChaosResult b = run_chaos(chaos_spec(10.0, 0));
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.faults.retries, 0u);
+}
+
+TEST(ChaosSoak, LinkOutagesRerouteUnderLoad) {
+  RunSpec spec = chaos_spec(2.0, 0);
+  spec.system.fabric = FabricKind::kMesh2d;
+  spec.system.faults.rand_link_downs = 6;
+  spec.system.faults.rand_link_down_len = 100000;
+  spec.system.faults.rand_link_down_horizon = 2'000'000;
+  const ChaosResult a = run_chaos(spec);
+  const ChaosResult b = run_chaos(spec);
+  EXPECT_TRUE(a == b);  // outage schedule is part of the seed
+}
+
+}  // namespace
+}  // namespace dsm

@@ -75,6 +75,7 @@ def check(fresh, base, threshold):
           f"baseline {calib_base:.3e} -> host speed ratio {host_ratio:.3f}")
 
     ratios = []
+    gated_rows = []
     print(f"{'benchmark':<42} {'baseline':>12} {'fresh':>12} "
           f"{'norm-ratio':>10}  gated")
     for name, base_ips in sorted(base["benchmarks"].items()):
@@ -84,6 +85,7 @@ def check(fresh, base, threshold):
         gated = name.startswith(GATED_PREFIXES)
         if gated:
             ratios.append(norm)
+            gated_rows.append((name, norm))
         print(f"{name:<42} {base_ips:>12.3e} {fresh[name]:>12.3e} "
               f"{norm:>10.3f}  {'yes' if gated else 'no'}")
 
@@ -96,7 +98,17 @@ def check(fresh, base, threshold):
     print(f"{verdict}: end-to-end events/sec geomean ratio {geomean:.3f} "
           f"vs baseline '{base['label']}' (floor {floor:.2f}, "
           f"{len(ratios)} benches)")
-    return 0 if geomean >= floor else 1
+    if geomean < floor:
+        # Attribute the failure: per-bench normalized deltas, worst
+        # first, so the log points at the benches that actually slowed
+        # down instead of just the aggregate.
+        print("per-bench normalized deltas vs baseline (worst first):")
+        for name, norm in sorted(gated_rows, key=lambda r: r[1]):
+            delta = (norm - 1.0) * 100.0
+            marker = " <-- below floor" if norm < floor else ""
+            print(f"  {name:<40} {delta:+7.1f}%{marker}")
+        return 1
+    return 0
 
 
 def main():
