@@ -56,6 +56,13 @@ struct Options {
   std::uint32_t fault_link_downs = 0;
   Cycle fault_retry_base = 0;      // 0 = keep TimingConfig default
   std::uint32_t fault_retry_max = 0;  // 0 = keep TimingConfig default
+  // Machine shape (--nodes N, --cpus-per-node N; 0 keeps the
+  // SystemConfig defaults) and directory sharer-set representation
+  // (--dir-scheme full|limited|coarse|auto; auto resolves to the exact
+  // full map whenever the machine fits in 64 nodes).
+  std::uint32_t nodes = 0;
+  std::uint32_t cpus_per_node = 0;
+  DirScheme dir_scheme = DirScheme::kAuto;
   // The worker count actually used (what the throughput fields were
   // measured under — per-run wall time includes contention from
   // sibling workers, so jobs context is part of the measurement).
@@ -80,43 +87,150 @@ struct Options {
     if (fault_retry_base != 0) sc.timing.fault_retry_base = fault_retry_base;
     if (fault_retry_max != 0)
       sc.timing.fault_retry_max_attempts = fault_retry_max;
+    if (nodes != 0) sc.nodes = nodes;
+    if (cpus_per_node != 0) sc.cpus_per_node = cpus_per_node;
+    sc.dir_scheme = dir_scheme;
   }
   bool routed_fabric() const { return fabric != FabricKind::kNiConstant; }
 };
 
+// Every flag that shapes a run's SystemConfig (machine size, fabric,
+// directory scheme, policy engine, shards, fault plan) is owned by this
+// one parser, shared by all bench binaries through parse(). Adding a
+// system knob here makes it available to every sweep at once; the
+// binaries keep only their harness flags (--paper/--tiny/--apps/
+// --jobs/--json).
+class SystemFlagParser {
+ public:
+  explicit SystemFlagParser(Options& o) : o_(&o) {}
+
+  // Consume argv[i] (and its value operand, advancing i past it) when
+  // the flag is one of the SystemConfig-shaping flags. Returns false —
+  // leaving i untouched — for flags it does not own. A recognized flag
+  // whose value operand is missing is left unconsumed, matching the
+  // historic parser.
+  bool consume(int argc, char** argv, int& i) {
+    if (i + 1 >= argc) return false;
+    const char* flag = argv[i];
+    const char* arg = argv[i + 1];
+    if (std::strcmp(flag, "--fabric") == 0) {
+      if (std::strcmp(arg, "mesh") == 0 || std::strcmp(arg, "mesh-2d") == 0) {
+        o_->fabric = FabricKind::kMesh2d;
+      } else if (std::strcmp(arg, "torus") == 0 ||
+                 std::strcmp(arg, "torus-2d") == 0) {
+        o_->fabric = FabricKind::kTorus2d;
+      } else if (std::strcmp(arg, "ni") == 0 ||
+                 std::strcmp(arg, "ni-constant") == 0) {
+        o_->fabric = FabricKind::kNiConstant;
+      } else {
+        die(flag, arg, "mesh|torus|ni");
+      }
+    } else if (std::strcmp(flag, "--nodes") == 0) {
+      o_->nodes = std::uint32_t(
+          parse_uint(flag, arg, 1, 1u << 16, "a node count (1..65536)"));
+    } else if (std::strcmp(flag, "--cpus-per-node") == 0) {
+      o_->cpus_per_node = std::uint32_t(
+          parse_uint(flag, arg, 1, 1u << 10, "a per-node cpu count"));
+    } else if (std::strcmp(flag, "--dir-scheme") == 0) {
+      if (std::strcmp(arg, "full") == 0 || std::strcmp(arg, "full-map") == 0) {
+        o_->dir_scheme = DirScheme::kFullMap;
+      } else if (std::strcmp(arg, "limited") == 0 ||
+                 std::strcmp(arg, "limited-ptr") == 0) {
+        o_->dir_scheme = DirScheme::kLimitedPtr;
+      } else if (std::strcmp(arg, "coarse") == 0 ||
+                 std::strcmp(arg, "coarse-vector") == 0) {
+        o_->dir_scheme = DirScheme::kCoarse;
+      } else if (std::strcmp(arg, "auto") == 0) {
+        o_->dir_scheme = DirScheme::kAuto;
+      } else {
+        die(flag, arg, "full|limited|coarse|auto");
+      }
+    } else if (std::strcmp(flag, "--link-bw") == 0) {
+      o_->link_bw = std::uint32_t(
+          parse_uint(flag, arg, 0, Options::kLinkBwUnset - 1,
+                     "bytes/cycle; 0 disables link contention"));
+    } else if (std::strcmp(flag, "--policy") == 0) {
+      if (std::strcmp(arg, "default") == 0) {
+        o_->policy = PolicyKind::kDefault;
+      } else if (std::strcmp(arg, "none") == 0) {
+        o_->policy = PolicyKind::kNone;
+      } else if (std::strcmp(arg, "migrep") == 0) {
+        o_->policy = PolicyKind::kMigRep;
+      } else if (std::strcmp(arg, "rnuma") == 0) {
+        o_->policy = PolicyKind::kRNuma;
+      } else if (std::strcmp(arg, "adaptive") == 0) {
+        o_->policy = PolicyKind::kAdaptive;
+      } else {
+        die(flag, arg, "default|none|migrep|rnuma|adaptive");
+      }
+    } else if (std::strcmp(flag, "--adaptive-k") == 0) {
+      o_->adaptive_k = std::uint32_t(parse_uint(
+          flag, arg, 1, 1u << 20, "a positive competitive constant"));
+    } else if (std::strcmp(flag, "--shards") == 0) {
+      o_->shards = std::uint32_t(parse_uint(
+          flag, arg, 0, 1u << 10, "a home-shard count; 0 = serial engine"));
+    } else if (std::strcmp(flag, "--shard-threads") == 0) {
+      if (std::strcmp(arg, "inline") == 0) {
+        o_->shard_threads = SystemConfig::ShardThreads::kInline;
+      } else if (std::strcmp(arg, "threads") == 0) {
+        o_->shard_threads = SystemConfig::ShardThreads::kThreaded;
+      } else if (std::strcmp(arg, "auto") == 0) {
+        o_->shard_threads = SystemConfig::ShardThreads::kAuto;
+      } else {
+        die(flag, arg, "inline|threads|auto");
+      }
+    } else if (std::strcmp(flag, "--fault-seed") == 0) {
+      o_->fault_seed = parse_uint(flag, arg, 0, ~std::uint64_t(0), "a seed");
+      o_->fault_seed_set = true;
+    } else if (std::strcmp(flag, "--fault-drop-pct") == 0) {
+      char* end = nullptr;
+      const double v = std::strtod(arg, &end);
+      if (end == arg || *end != '\0' || v < 0.0 || v > 100.0)
+        die(flag, arg, "0..100");
+      o_->fault_drop_pct = v;
+    } else if (std::strcmp(flag, "--fault-link-downs") == 0) {
+      o_->fault_link_downs = std::uint32_t(
+          parse_uint(flag, arg, 0, 1u << 16, "an outage count"));
+    } else if (std::strcmp(flag, "--fault-retry-base") == 0) {
+      o_->fault_retry_base = Cycle(
+          parse_uint(flag, arg, 1, ~std::uint64_t(0), "cycles > 0"));
+    } else if (std::strcmp(flag, "--fault-retry-max") == 0) {
+      o_->fault_retry_max =
+          std::uint32_t(parse_uint(flag, arg, 1, 64, "1..64 attempts"));
+    } else {
+      return false;
+    }
+    ++i;  // the value operand was consumed
+    return true;
+  }
+
+ private:
+  [[noreturn]] static void die(const char* flag, const char* arg,
+                               const char* expected) {
+    std::fprintf(stderr, "bad %s '%s' (expected %s)\n", flag, arg, expected);
+    std::exit(2);
+  }
+
+  static std::uint64_t parse_uint(const char* flag, const char* arg,
+                                  std::uint64_t lo, std::uint64_t hi,
+                                  const char* expected) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0' || v < lo || v > hi)
+      die(flag, arg, expected);
+    return v;
+  }
+
+  Options* o_;
+};
+
 inline Options parse(int argc, char** argv) {
   Options o;
+  SystemFlagParser sys(o);
   for (int i = 1; i < argc; ++i) {
+    if (sys.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--paper") == 0) o.scale = Scale::kPaper;
     if (std::strcmp(argv[i], "--tiny") == 0) o.scale = Scale::kTiny;
-    if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
-      const std::string f = argv[++i];
-      if (f == "mesh" || f == "mesh-2d") {
-        o.fabric = FabricKind::kMesh2d;
-      } else if (f == "torus" || f == "torus-2d") {
-        o.fabric = FabricKind::kTorus2d;
-      } else if (f == "ni" || f == "ni-constant") {
-        o.fabric = FabricKind::kNiConstant;
-      } else {
-        std::fprintf(stderr,
-                     "unknown --fabric '%s' (expected mesh|torus|ni)\n",
-                     f.c_str());
-        std::exit(2);
-      }
-    }
-    if (std::strcmp(argv[i], "--link-bw") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (end == arg || *end != '\0' || v >= Options::kLinkBwUnset) {
-        std::fprintf(stderr,
-                     "bad --link-bw '%s' (expected bytes/cycle; 0 disables "
-                     "link contention)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.link_bw = std::uint32_t(v);
-    }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       o.json_path = argv[++i];
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -131,127 +245,6 @@ inline Options parse(int argc, char** argv) {
         std::exit(2);
       }
       o.jobs = unsigned(v);
-    }
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (end == arg || *end != '\0' || v > 1u << 10) {
-        std::fprintf(stderr,
-                     "bad --shards '%s' (expected a home-shard count; 0 = "
-                     "serial engine)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.shards = std::uint32_t(v);
-    }
-    if (std::strcmp(argv[i], "--shard-threads") == 0 && i + 1 < argc) {
-      const std::string m = argv[++i];
-      if (m == "inline") {
-        o.shard_threads = SystemConfig::ShardThreads::kInline;
-      } else if (m == "threads") {
-        o.shard_threads = SystemConfig::ShardThreads::kThreaded;
-      } else if (m == "auto") {
-        o.shard_threads = SystemConfig::ShardThreads::kAuto;
-      } else {
-        std::fprintf(stderr,
-                     "unknown --shard-threads '%s' (expected "
-                     "inline|threads|auto)\n",
-                     m.c_str());
-        std::exit(2);
-      }
-    }
-    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
-      const std::string p = argv[++i];
-      if (p == "default") {
-        o.policy = PolicyKind::kDefault;
-      } else if (p == "none") {
-        o.policy = PolicyKind::kNone;
-      } else if (p == "migrep") {
-        o.policy = PolicyKind::kMigRep;
-      } else if (p == "rnuma") {
-        o.policy = PolicyKind::kRNuma;
-      } else if (p == "adaptive") {
-        o.policy = PolicyKind::kAdaptive;
-      } else {
-        std::fprintf(stderr,
-                     "unknown --policy '%s' (expected "
-                     "default|none|migrep|rnuma|adaptive)\n",
-                     p.c_str());
-        std::exit(2);
-      }
-    }
-    if (std::strcmp(argv[i], "--adaptive-k") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (end == arg || *end != '\0' || v == 0 || v > 1u << 20) {
-        std::fprintf(stderr,
-                     "bad --adaptive-k '%s' (expected a positive "
-                     "competitive constant)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.adaptive_k = std::uint32_t(v);
-    }
-    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(arg, &end, 10);
-      if (end == arg || *end != '\0') {
-        std::fprintf(stderr, "bad --fault-seed '%s' (expected a seed)\n", arg);
-        std::exit(2);
-      }
-      o.fault_seed = v;
-      o.fault_seed_set = true;
-    }
-    if (std::strcmp(argv[i], "--fault-drop-pct") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const double v = std::strtod(arg, &end);
-      if (end == arg || *end != '\0' || v < 0.0 || v > 100.0) {
-        std::fprintf(stderr,
-                     "bad --fault-drop-pct '%s' (expected 0..100)\n", arg);
-        std::exit(2);
-      }
-      o.fault_drop_pct = v;
-    }
-    if (std::strcmp(argv[i], "--fault-link-downs") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (end == arg || *end != '\0' || v > 1u << 16) {
-        std::fprintf(stderr,
-                     "bad --fault-link-downs '%s' (expected an outage "
-                     "count)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.fault_link_downs = std::uint32_t(v);
-    }
-    if (std::strcmp(argv[i], "--fault-retry-base") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(arg, &end, 10);
-      if (end == arg || *end != '\0' || v == 0) {
-        std::fprintf(stderr,
-                     "bad --fault-retry-base '%s' (expected cycles > 0)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.fault_retry_base = Cycle(v);
-    }
-    if (std::strcmp(argv[i], "--fault-retry-max") == 0 && i + 1 < argc) {
-      const char* arg = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (end == arg || *end != '\0' || v == 0 || v > 64) {
-        std::fprintf(stderr,
-                     "bad --fault-retry-max '%s' (expected 1..64 attempts)\n",
-                     arg);
-        std::exit(2);
-      }
-      o.fault_retry_max = std::uint32_t(v);
     }
     if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
       o.apps.clear();

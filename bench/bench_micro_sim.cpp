@@ -69,7 +69,7 @@ BENCHMARK(BM_ResourceReserve);
 // even mix of resident and absent blocks — the access paths probe for
 // uncached blocks constantly.
 void BM_DirectoryProbe(benchmark::State& state) {
-  Directory dir;
+  Directory dir(NodeSetLayout::make(8, DirScheme::kFullMap));
   constexpr Addr kBlocks = 1u << 16;
   for (Addr b = 0; b < kBlocks; b += 2) dir.entry(b).state = DirState::kShared;
   Rng rng(11);
@@ -83,7 +83,7 @@ BENCHMARK(BM_DirectoryProbe);
 // Directory find-or-insert on the resident half (the transaction-path
 // pattern: entry() for a block that almost always exists).
 void BM_DirectoryEntry(benchmark::State& state) {
-  Directory dir;
+  Directory dir(NodeSetLayout::make(8, DirScheme::kFullMap));
   constexpr Addr kBlocks = 1u << 16;
   for (Addr b = 0; b < kBlocks; ++b) dir.entry(b).state = DirState::kShared;
   Rng rng(12);
@@ -97,7 +97,7 @@ BENCHMARK(BM_DirectoryEntry);
 // Page-table lookup with the access pattern's page locality: runs of
 // consecutive lookups on one page before moving on.
 void BM_PageTableLookup(benchmark::State& state) {
-  PageTable pt(8);
+  PageTable pt(8, NodeSetLayout::make(8, DirScheme::kFullMap));
   constexpr Addr kPages = 1u << 12;
   for (Addr p = 0; p < kPages; ++p) pt.info(p).home = NodeId(p & 7);
   Rng rng(13);

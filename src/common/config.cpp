@@ -48,6 +48,16 @@ const char* to_string(FabricKind k) {
   return "?";
 }
 
+const char* to_string(DirScheme s) {
+  switch (s) {
+    case DirScheme::kAuto: return "auto";
+    case DirScheme::kFullMap: return "full";
+    case DirScheme::kLimitedPtr: return "limited";
+    case DirScheme::kCoarse: return "coarse";
+  }
+  return "?";
+}
+
 TimingConfig TimingConfig::fast_page_ops() { return TimingConfig{}; }
 
 TimingConfig TimingConfig::slow_page_ops() {

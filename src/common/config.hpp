@@ -62,6 +62,30 @@ enum class FabricKind : std::uint8_t {
 
 const char* to_string(FabricKind k);
 
+// Sharer-set representation of the home directory (and the replica set).
+// The schemes mirror the classic directory-organization trade-off:
+//   kFullMap     one presence bit per node — exact, but entry width grows
+//                with machine size; only legal when nodes fit the inline
+//                bit-vector (<= 64). Decision- and byte-identical to the
+//                pre-NodeSet raw-mask behavior, which the parity goldens
+//                pin at 8/16 nodes.
+//   kLimitedPtr  up to 4 inline node pointers (Dir-4); overflow falls
+//                back to the coarse-vector representation below, i.e.
+//                the classic Dir_i_CV hybrid.
+//   kCoarse      one bit per K-node region; invalidations multicast to
+//                every node of a marked region, and the overshoot is
+//                charged as real control traffic — that overshoot is the
+//                experiment bench_scaleout measures.
+//   kAuto        full map when nodes <= 64, limited pointers beyond.
+enum class DirScheme : std::uint8_t {
+  kAuto = 0,
+  kFullMap,
+  kLimitedPtr,
+  kCoarse,
+};
+
+const char* to_string(DirScheme s);
+
 // All costs in 600 MHz processor cycles (1 bus cycle = 6 CPU cycles).
 struct TimingConfig {
   // --- block-level components -------------------------------------------
@@ -220,6 +244,12 @@ struct SystemConfig {
   // Interconnect backend and mesh geometry (0 = most square layout).
   FabricKind fabric = FabricKind::kNiConstant;
   std::uint32_t mesh_width = 0;
+
+  // Directory sharer-set representation (common/node_set.hpp). kAuto
+  // resolves to the exact full map whenever it fits (<= 64 nodes), so
+  // every paper-scale configuration behaves bit-identically to the
+  // pre-NodeSet code; larger machines fall back to limited pointers.
+  DirScheme dir_scheme = DirScheme::kAuto;
 
   // Per-node miss-history table entries (power of two; the node-level
   // miss classifier is a finite tagged SRAM table, not unbounded state).

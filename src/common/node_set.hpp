@@ -1,0 +1,309 @@
+// Width-independent node sets for directory sharer vectors and replica
+// sets.
+//
+// The historic representation — a raw 32-bit mask, one bit per node —
+// bakes the paper's 8/16-node machine shape into every directory entry
+// and is shift-UB for node ids >= 32. NodeSet replaces it with a tagged
+// representation that scales to 1024 nodes while keeping the exact
+// semantics (and byte-for-byte decisions) of the old mask whenever the
+// full map fits:
+//
+//   kBits    inline full bit-vector (one bit per node, <= 64 nodes):
+//            exact; decision-identical to the raw-mask code, which the
+//            policy-parity goldens pin.
+//   kPtrs    up to 4 inline limited pointers (Dir-4): exact while the
+//            sharer count stays small — the common case in the paper's
+//            sharing patterns — at ceil(log2(nodes)) bits per sharer.
+//   kCoarse  one bit per K-node region (classic coarse vector): a
+//            conservative superset. remove() cannot clear a region bit
+//            (other members may share it), contains() over-approximates,
+//            and invalidation fan-out multicasts to whole regions — the
+//            overshoot is charged as real control traffic.
+//
+// Which representation a set starts in is the *directory scheme*
+// (SystemConfig::dir_scheme): full map, limited-pointer (overflowing to
+// coarse, i.e. Dir_i_CV), or coarse from the first member. The layout —
+// resolved scheme, node count, region size — is global per system
+// (NodeSetLayout), so sets stay 24 bytes and carry no per-instance
+// geometry.
+//
+// Every operation that depends on geometry takes the layout explicitly;
+// iteration is in ascending node-id order, matching the protocol's
+// historic 0..nodes scan (fan-out order is parity-relevant).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+// Global sharer-set geometry of one system: the resolved scheme (never
+// kAuto), the node count, and the coarse-vector region size.
+struct NodeSetLayout {
+  DirScheme scheme = DirScheme::kFullMap;
+  std::uint32_t nodes = 8;
+  std::uint32_t region_shift = 0;  // coarse: 1 << region_shift nodes/bit
+
+  // Classic coarse vectors are a fixed SRAM word per entry; 32 region
+  // bits holds that width constant from 8 to 1024 nodes (region size
+  // 1 -> exact up to 32 nodes, 32 nodes/bit at 1024).
+  static constexpr std::uint32_t kMaxCoarseRegions = 32;
+
+  static DirScheme resolve(DirScheme s, std::uint32_t nodes) {
+    if (s != DirScheme::kAuto) return s;
+    return nodes <= 64 ? DirScheme::kFullMap : DirScheme::kLimitedPtr;
+  }
+
+  static std::uint32_t coarse_shift(std::uint32_t nodes) {
+    std::uint32_t shift = 0;
+    while ((((nodes - 1) >> shift) + 1) > kMaxCoarseRegions) ++shift;
+    return shift;
+  }
+
+  static NodeSetLayout make(std::uint32_t nodes, DirScheme scheme) {
+    DSM_ASSERT(nodes >= 1);
+    NodeSetLayout l;
+    l.scheme = resolve(scheme, nodes);
+    l.nodes = nodes;
+    l.region_shift = coarse_shift(nodes);
+    DSM_ASSERT(l.scheme != DirScheme::kFullMap || l.nodes <= 64,
+               "full-map directory requires nodes <= 64");
+    return l;
+  }
+
+  std::uint32_t regions() const { return ((nodes - 1) >> region_shift) + 1; }
+  std::uint32_t region_of(NodeId n) const { return n >> region_shift; }
+
+  static std::uint32_t ceil_log2(std::uint32_t v) {
+    std::uint32_t b = 0;
+    while ((std::uint64_t(1) << b) < v) ++b;
+    return b;
+  }
+};
+
+class NodeSet {
+ public:
+  enum class Rep : std::uint8_t { kEmpty = 0, kBits, kPtrs, kCoarse };
+  static constexpr unsigned kPtrSlots = 4;
+
+  Rep rep() const { return rep_; }
+  bool empty() const { return rep_ == Rep::kEmpty; }
+
+  void clear() {
+    bits_ = 0;
+    count_ = 0;
+    rep_ = Rep::kEmpty;
+  }
+
+  // Membership. Under the coarse representation this over-approximates:
+  // any node of a marked region tests true.
+  bool contains(NodeId n, const NodeSetLayout& l) const {
+    switch (rep_) {
+      case Rep::kEmpty: return false;
+      case Rep::kBits: return (bits_ >> n) & 1u;
+      case Rep::kPtrs:
+        for (unsigned i = 0; i < count_; ++i)
+          if (ptr_[i] == n) return true;
+        return false;
+      case Rep::kCoarse: return (bits_ >> l.region_of(n)) & 1u;
+    }
+    return false;
+  }
+
+  // Is the set exactly {n}? Under an inexact coarse vector the answer
+  // is unknowable, so the conservative answer is "no" — callers then
+  // run the full invalidation round, and the overshoot is charged.
+  bool is_exactly(NodeId n, const NodeSetLayout& l) const {
+    switch (rep_) {
+      case Rep::kEmpty: return false;
+      case Rep::kBits: return bits_ == (std::uint64_t(1) << n);
+      case Rep::kPtrs: return count_ == 1 && ptr_[0] == n;
+      case Rep::kCoarse:
+        return l.region_shift == 0 && bits_ == (std::uint64_t(1) << n);
+    }
+    return false;
+  }
+
+  // True when the representation tracks exact membership (everything
+  // except a coarse vector with multi-node regions).
+  bool exact(const NodeSetLayout& l) const {
+    return rep_ != Rep::kCoarse || l.region_shift == 0;
+  }
+
+  void add(NodeId n, const NodeSetLayout& l) {
+    DSM_DEBUG_ASSERT(n < l.nodes, "node id outside the configured machine");
+    switch (rep_) {
+      case Rep::kEmpty:
+        start(n, l);
+        return;
+      case Rep::kBits:
+        bits_ |= std::uint64_t(1) << n;
+        return;
+      case Rep::kPtrs: {
+        // Keep pointers sorted so iteration stays ascending.
+        unsigned i = 0;
+        while (i < count_ && ptr_[i] < n) ++i;
+        if (i < count_ && ptr_[i] == n) return;
+        if (count_ < kPtrSlots) {
+          for (unsigned j = count_; j > i; --j) ptr_[j] = ptr_[j - 1];
+          ptr_[i] = std::uint16_t(n);
+          ++count_;
+          return;
+        }
+        // Pointer overflow: degrade to the coarse vector (Dir_i_CV).
+        std::uint64_t bits = std::uint64_t(1) << l.region_of(n);
+        for (unsigned j = 0; j < count_; ++j)
+          bits |= std::uint64_t(1) << l.region_of(ptr_[j]);
+        bits_ = bits;
+        count_ = 0;
+        rep_ = Rep::kCoarse;
+        return;
+      }
+      case Rep::kCoarse:
+        bits_ |= std::uint64_t(1) << l.region_of(n);
+        return;
+    }
+  }
+
+  // Conservative removal: exact representations drop the member; an
+  // inexact coarse vector cannot (other nodes may share the region
+  // bit), so the set keeps over-approximating until cleared.
+  void remove(NodeId n, const NodeSetLayout& l) {
+    switch (rep_) {
+      case Rep::kEmpty:
+        return;
+      case Rep::kBits:
+        bits_ &= ~(std::uint64_t(1) << n);
+        if (bits_ == 0) rep_ = Rep::kEmpty;
+        return;
+      case Rep::kPtrs:
+        for (unsigned i = 0; i < count_; ++i) {
+          if (ptr_[i] != n) continue;
+          for (unsigned j = i + 1; j < count_; ++j) ptr_[j - 1] = ptr_[j];
+          --count_;
+          break;
+        }
+        if (count_ == 0) rep_ = Rep::kEmpty;
+        return;
+      case Rep::kCoarse:
+        if (l.region_shift == 0) {  // single-node regions: exact after all
+          bits_ &= ~(std::uint64_t(1) << n);
+          if (bits_ == 0) rep_ = Rep::kEmpty;
+        }
+        return;
+    }
+  }
+
+  // Member count. For an inexact coarse vector this counts every node
+  // of every marked region — the conservative multicast width, which is
+  // exactly what invalidation fan-out pays.
+  std::uint32_t count(const NodeSetLayout& l) const {
+    switch (rep_) {
+      case Rep::kEmpty: return 0;
+      case Rep::kBits: return std::uint32_t(__builtin_popcountll(bits_));
+      case Rep::kPtrs: return count_;
+      case Rep::kCoarse: {
+        std::uint32_t total = 0;
+        const std::uint32_t regions = l.regions();
+        for (std::uint32_t r = 0; r < regions; ++r) {
+          if (!((bits_ >> r) & 1u)) continue;
+          const std::uint32_t first = r << l.region_shift;
+          total += std::min(l.nodes - first,
+                            std::uint32_t(1) << l.region_shift);
+        }
+        return total;
+      }
+    }
+    return 0;
+  }
+
+  // Visit members in ascending node-id order (the protocol's historic
+  // 0..nodes scan — fan-out order is parity-relevant). The coarse
+  // representation visits every node of every marked region.
+  template <typename Fn>
+  void for_each(const NodeSetLayout& l, Fn&& fn) const {
+    switch (rep_) {
+      case Rep::kEmpty:
+        return;
+      case Rep::kBits:
+        for (std::uint64_t b = bits_; b != 0; b &= b - 1)
+          fn(NodeId(__builtin_ctzll(b)));
+        return;
+      case Rep::kPtrs:
+        for (unsigned i = 0; i < count_; ++i) fn(NodeId(ptr_[i]));
+        return;
+      case Rep::kCoarse: {
+        const std::uint32_t regions = l.regions();
+        for (std::uint32_t r = 0; r < regions; ++r) {
+          if (!((bits_ >> r) & 1u)) continue;
+          const NodeId first = NodeId(r) << l.region_shift;
+          const NodeId lim = std::min<NodeId>(
+              l.nodes, first + (NodeId(1) << l.region_shift));
+          for (NodeId n = first; n < lim; ++n) fn(n);
+        }
+        return;
+      }
+    }
+  }
+
+  // Assignment helpers mirroring the protocol's historic raw-mask
+  // writes (`sharers = (1u << a) | (1u << b)` and friends).
+  void reset_to(NodeId n, const NodeSetLayout& l) {
+    clear();
+    add(n, l);
+  }
+  void reset_to_pair(NodeId a, NodeId b, const NodeSetLayout& l) {
+    clear();
+    add(a, l);
+    if (b != a) add(b, l);
+  }
+
+  // Sharer-metadata bits the current representation occupies — the
+  // quantity bench_scaleout reports so directory memory demonstrably
+  // tracks measured sharers, not machine width. A full map always pays
+  // `nodes` bits; limited pointers pay ceil(log2 nodes) per member; a
+  // coarse vector pays its fixed region-bit word.
+  std::uint32_t storage_bits(const NodeSetLayout& l) const {
+    switch (rep_) {
+      case Rep::kEmpty: return 0;
+      case Rep::kBits: return l.nodes;
+      case Rep::kPtrs: return count_ * NodeSetLayout::ceil_log2(l.nodes);
+      case Rep::kCoarse: return l.regions();
+    }
+    return 0;
+  }
+
+ private:
+  void start(NodeId n, const NodeSetLayout& l) {
+    switch (l.scheme) {
+      case DirScheme::kFullMap:
+        bits_ = std::uint64_t(1) << n;
+        rep_ = Rep::kBits;
+        return;
+      case DirScheme::kLimitedPtr:
+        ptr_[0] = std::uint16_t(n);
+        count_ = 1;
+        rep_ = Rep::kPtrs;
+        return;
+      case DirScheme::kCoarse:
+        bits_ = std::uint64_t(1) << l.region_of(n);
+        rep_ = Rep::kCoarse;
+        return;
+      case DirScheme::kAuto:
+        break;
+    }
+    DSM_ASSERT(false, "unresolved directory scheme in NodeSetLayout");
+  }
+
+  std::uint64_t bits_ = 0;  // kBits: node bits; kCoarse: region bits
+  std::array<std::uint16_t, kPtrSlots> ptr_{};
+  std::uint8_t count_ = 0;  // kPtrs: slots used
+  Rep rep_ = Rep::kEmpty;
+};
+
+}  // namespace dsm

@@ -146,6 +146,25 @@ struct FaultStats {
   std::uint64_t hard_errors = 0;      // demand transactions forced through
 };
 
+// Directory-memory census (dsm/directory.hpp::usage), snapshotted at
+// parallel_end. sharer_bits_used is the storage the live sharer-set
+// representations actually occupy; sharer_bits_full_map is what a
+// one-bit-per-node full map would cost for the same entries — the
+// extrapolation bench_scaleout compares limited/coarse schemes against.
+struct DirUsage {
+  std::uint32_t nodes = 0;               // machine width of the census
+  std::uint64_t entries = 0;             // live directory entries
+  std::uint64_t shared_entries = 0;      // entries in kShared
+  std::uint64_t coarse_entries = 0;      // entries degraded to coarse rep
+  std::uint64_t sharers_measured = 0;    // sum of per-entry member counts
+  std::uint64_t sharer_bits_used = 0;    // bits the current reps occupy
+  std::uint64_t sharer_bits_full_map = 0;  // entries x nodes extrapolation
+
+  double bits_per_entry() const {
+    return entries ? double(sharer_bits_used) / double(entries) : 0.0;
+  }
+};
+
 struct Stats {
   std::vector<NodeStats> node;           // indexed by NodeId
   Cycle execution_cycles = 0;            // parallel-phase execution time
@@ -160,6 +179,9 @@ struct Stats {
 
   // Fault-injection and recovery counters (all zero with faults off).
   FaultStats faults;
+
+  // End-of-run directory-memory census (see DirUsage above).
+  DirUsage dir;
 
   explicit Stats(std::uint32_t nodes = 0) : node(nodes) {}
 

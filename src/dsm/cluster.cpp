@@ -37,8 +37,9 @@ const char* to_string(DirState s) {
 DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
     : cfg_(cfg),
       stats_(stats),
-      pt_(cfg.nodes, &arena_),
-      dir_(&arena_),
+      nsl_(NodeSetLayout::make(cfg.nodes, cfg.dir_scheme)),
+      pt_(cfg.nodes, nsl_, &arena_),
+      dir_(nsl_, &arena_),
       net_(make_fabric(cfg_, stats)),
       bus_(cfg.nodes),
       device_(cfg.nodes) {
@@ -73,6 +74,9 @@ DsmSystem::~DsmSystem() = default;
 void DsmSystem::parallel_begin(Cycle now) { parallel_begin_at_ = now; }
 void DsmSystem::parallel_end(Cycle now) {
   stats_->execution_cycles = now - parallel_begin_at_;
+  // End-of-run directory-memory census: what the sharer-set
+  // representations actually occupy vs the full-map extrapolation.
+  stats_->dir = dir_.usage();
 }
 
 // ---------------------------------------------------------------------------
@@ -183,7 +187,10 @@ void DsmSystem::check_coherence() const {
           break;
         case DirState::kShared:
           DSM_ASSERT(!node_dirty, "dirty copy of a shared block");
-          DSM_ASSERT(!node_has || e.is_sharer(n) || pi->home == n,
+          // Conservative supersets are valid: every actual holder must
+          // be covered by the sharer set (inexact schemes may cover
+          // non-holders too — that is their contract, not a bug).
+          DSM_ASSERT(!node_has || e.is_sharer(n, nsl_) || pi->home == n,
                      "unregistered sharer");
           break;
         case DirState::kExclusive:

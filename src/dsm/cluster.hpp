@@ -140,6 +140,10 @@ class DsmSystem : public MemorySystem {
   std::uint32_t nodes() const { return cfg_.nodes; }
   NodeId node_of_cpu(CpuId c) const { return c / cfg_.cpus_per_node; }
 
+  // Resolved sharer-set geometry (scheme, node count, coarse regions)
+  // shared by the directory, the page table and every protocol path.
+  const NodeSetLayout& node_set_layout() const { return nsl_; }
+
   // The run's bump arena: backs every address-keyed table (page table,
   // directory, page-cache frames, observation records), so steady-state
   // protocol activity allocates nothing from the global heap and the
@@ -240,6 +244,8 @@ class DsmSystem : public MemorySystem {
 
   SystemConfig cfg_;
   Stats* stats_;
+  // Resolved NodeSet geometry; declared before the tables that copy it.
+  NodeSetLayout nsl_;
   // Declared before every table it backs: members destruct in reverse
   // declaration order, so the arena outlives its users.
   Arena arena_;

@@ -1,10 +1,19 @@
-// Home-node directory: full bit-vector over nodes, three stable states.
+// Home-node directory: width-independent sharer sets, three stable
+// states.
 //
 // The directory is global truth for node-level coherence:
 //   kUncached  — no node caches the block; memory at home is current.
-//   kShared    — one or more nodes hold clean copies (bit vector).
+//   kShared    — one or more nodes hold clean copies (NodeSet; may be a
+//                conservative superset under the coarse-vector scheme).
 //   kExclusive — exactly one node may hold the block M/E/O; its copy is
 //                (potentially) the only valid one cluster-wide.
+//
+// Sharer sets are NodeSet (common/node_set.hpp): full bit-vector,
+// limited-pointer, or coarse-vector per SystemConfig::dir_scheme. The
+// full-map scheme is decision- and byte-identical to the historic raw
+// 32-bit mask (the parity goldens pin it); the inexact schemes only
+// ever over-approximate, so invalidation fan-out conservatively
+// multicasts and the checker validates supersets.
 //
 // Because the timing model processes each transaction atomically (see
 // sim/memory_if.hpp) there are no transient states: every lookup sees a
@@ -17,6 +26,8 @@
 
 #include "common/addr_map.hpp"
 #include "common/log.hpp"
+#include "common/node_set.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace dsm {
@@ -27,20 +38,27 @@ const char* to_string(DirState s);
 
 struct DirEntry {
   DirState state = DirState::kUncached;
-  NodeId owner = kNoNode;       // valid iff state == kExclusive
-  std::uint32_t sharers = 0;    // bit per node, valid iff state == kShared
+  NodeId owner = kNoNode;  // valid iff state == kExclusive
+  NodeSet sharers;         // valid iff state == kShared
 
-  bool is_sharer(NodeId n) const { return (sharers >> n) & 1u; }
-  void add_sharer(NodeId n) { sharers |= (1u << n); }
-  void remove_sharer(NodeId n) { sharers &= ~(1u << n); }
-  std::uint32_t sharer_count() const { return __builtin_popcount(sharers); }
+  bool is_sharer(NodeId n, const NodeSetLayout& l) const {
+    return sharers.contains(n, l);
+  }
+  void add_sharer(NodeId n, const NodeSetLayout& l) { sharers.add(n, l); }
+  void remove_sharer(NodeId n, const NodeSetLayout& l) { sharers.remove(n, l); }
+  std::uint32_t sharer_count(const NodeSetLayout& l) const {
+    return sharers.count(l);
+  }
 };
 
 class Directory {
  public:
   explicit Directory(
+      const NodeSetLayout& layout,
       std::pmr::memory_resource* mem = std::pmr::get_default_resource())
-      : entries_(mem) {}
+      : layout_(layout), entries_(mem) {}
+
+  const NodeSetLayout& layout() const { return layout_; }
 
   // Flat-table find-or-insert. References stay valid across later
   // inserts and across erases of *other* blocks (chunk-stable values).
@@ -63,7 +81,27 @@ class Directory {
     entries_.for_each(std::forward<Fn>(fn));
   }
 
+  // Directory-memory census over the live entries: how many bits of
+  // sharer metadata the current representations actually occupy, next
+  // to the full-map extrapolation (entries x nodes bits). This is the
+  // scale-out experiment's headline number — with limited/coarse
+  // schemes it grows with *measured sharers*, not machine width.
+  DirUsage usage() {
+    DirUsage u;
+    u.nodes = layout_.nodes;
+    entries_.for_each([&](Addr, DirEntry& e) {
+      u.entries++;
+      if (e.state == DirState::kShared) u.shared_entries++;
+      if (e.sharers.rep() == NodeSet::Rep::kCoarse) u.coarse_entries++;
+      u.sharers_measured += e.sharers.count(layout_);
+      u.sharer_bits_used += e.sharers.storage_bits(layout_);
+      u.sharer_bits_full_map += layout_.nodes;
+    });
+    return u;
+  }
+
  private:
+  NodeSetLayout layout_;
   AddrMap<DirEntry> entries_;
 };
 

@@ -58,13 +58,13 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
     data_ready += cfg_.timing.mem_access;
     e.state = DirState::kExclusive;
     e.owner = requester;
-    e.sharers = 0;
+    e.sharers.clear();
     *granted = NodeState::kModified;
   } else {
     if (e.state == DirState::kExclusive && e.owner != requester) {
       data_ready = home_recall_shared(home, requester, blk, th);
       data_ready += cfg_.timing.mem_access;
-      e.sharers = (1u << e.owner) | (1u << requester);
+      e.sharers.reset_to_pair(e.owner, requester, nsl_);
       e.state = DirState::kShared;
       e.owner = kNoNode;
       *granted = NodeState::kShared;
@@ -74,7 +74,7 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
       // granted on a replicated page — those are read-only everywhere.
       e.state = DirState::kExclusive;
       e.owner = requester;
-      e.sharers = 0;
+      e.sharers.clear();
       *granted = NodeState::kModified;
     } else {
       DSM_ASSERT(e.state == DirState::kShared ||
@@ -84,11 +84,11 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
       if (e.state == DirState::kExclusive) {
         // The directory thought we owned it (e.g. stale after a local L1
         // drop); degrade to shared.
-        e.sharers = (1u << requester);
+        e.sharers.reset_to(requester, nsl_);
         e.owner = kNoNode;
       }
       e.state = DirState::kShared;
-      e.add_sharer(requester);
+      e.add_sharer(requester, nsl_);
       *granted = NodeState::kShared;
     }
   }
@@ -109,7 +109,7 @@ Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
     const Cycle done = home_service_exclusive(home, requester, blk, t);
     e.state = DirState::kExclusive;
     e.owner = requester;
-    e.sharers = 0;
+    e.sharers.clear();
     return done;
   }
 
@@ -121,7 +121,7 @@ Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
   const Cycle done = home_service_exclusive(home, requester, blk, th);
   e.state = DirState::kExclusive;
   e.owner = requester;
-  e.sharers = 0;
+  e.sharers.clear();
   return reply_reliable(Message::control(MsgKind::kAck, home, requester, blk),
                         up, done);
 }
@@ -131,9 +131,15 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
   DirEntry& e = dir_.entry(blk);
   Cycle done = t;
   if (e.state == DirState::kShared) {
-    // Invalidate every sharer except the requester, in parallel.
-    for (NodeId s = 0; s < cfg_.nodes; ++s) {
-      if (!e.is_sharer(s) || s == requester) continue;
+    // Invalidate every member of the sharer set except the requester, in
+    // parallel. Under an inexact scheme (coarse vector) the set is a
+    // conservative superset of the real holders: covered non-holders
+    // still get the inval order and ack it, and those wire bytes are
+    // charged for real — the coarse-vector overshoot is measured
+    // traffic, not modeled away. No policy fires page ops on
+    // kInvalidation, so iterating the live set is safe.
+    e.sharers.for_each(nsl_, [&](NodeId s) {
+      if (s == requester) return;
       const Message inv = Message::control(MsgKind::kInval, home, s, blk);
       Cycle ts = (s == home) ? t : send_demand(inv, t, /*nack_dup=*/false);
       const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
@@ -161,7 +167,7 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
                     Message::control(MsgKind::kAck, s, home, blk).total_bytes();
       ev.now = ack;
       engine_->dispatch(ev, &pt_.info(page));
-    }
+    });
   } else if (e.state == DirState::kExclusive && e.owner != requester) {
     done = recall_from_owner(home, e.owner, blk, /*invalidate=*/true, t);
   }

@@ -137,7 +137,10 @@ Cycle DsmSystem::access_local(const MemAccess& a, PageInfo& pi, Addr blk,
                /*bytes=*/0, t);
 
   if (a.write) {
-    if ((e.state == DirState::kShared && e.sharers != (1u << home)) ||
+    // is_exactly() is false whenever the set might cover anyone beyond
+    // the home (inexact coarse sets always answer false), so inexact
+    // schemes conservatively run the invalidation round.
+    if ((e.state == DirState::kShared && !e.sharers.is_exactly(home, nsl_)) ||
         (e.state == DirState::kExclusive && e.owner != home)) {
       t = home_service_exclusive(home, home, blk, t);
       record_remote_miss(home, MissClass::kCoherence);
@@ -145,7 +148,7 @@ Cycle DsmSystem::access_local(const MemAccess& a, PageInfo& pi, Addr blk,
     t += cfg_.timing.mem_access;
     e.state = DirState::kExclusive;
     e.owner = home;
-    e.sharers = 0;
+    e.sharers.clear();
     l1_install(a, blk, L1State::kM);
   } else {
     if (e.state == DirState::kExclusive && e.owner != home) {
@@ -160,15 +163,15 @@ Cycle DsmSystem::access_local(const MemAccess& a, PageInfo& pi, Addr blk,
       // granted while replicas exist (the page is read-only).
       e.state = DirState::kExclusive;
       e.owner = home;
-      e.sharers = 0;
+      e.sharers.clear();
       l1_install(a, blk, L1State::kE);
     } else {
       if (e.state == DirState::kExclusive) {
         // after recall: owner + home share
-        e.sharers = (1u << e.owner) | (1u << home);
+        e.sharers.reset_to_pair(e.owner, home, nsl_);
         e.owner = kNoNode;
       } else {
-        e.add_sharer(home);
+        e.add_sharer(home, nsl_);
       }
       e.state = DirState::kShared;
       l1_install(a, blk, L1State::kS);
@@ -355,7 +358,7 @@ Cycle DsmSystem::access_replica(const MemAccess& a, PageInfo& pi, Addr blk,
   if (e.state == DirState::kUncached) e.state = DirState::kShared;
   DSM_ASSERT(e.state == DirState::kShared,
              "replicated page block held exclusive");
-  e.add_sharer(a.node);
+  e.add_sharer(a.node, nsl_);
   (void)pi;
   l1_install(a, blk, L1State::kS);
   stats_->node[a.node].local_mem_accesses++;
@@ -475,11 +478,11 @@ void DsmSystem::bc_install(NodeId n, Addr blk, NodeState st, Cycle t) {
     DSM_DEBUG_ASSERT(e.state == DirState::kExclusive && e.owner == n);
     e.state = DirState::kUncached;
     e.owner = kNoNode;
-    e.sharers = 0;
+    e.sharers.clear();
   } else {
     if (e.state == DirState::kShared) {
-      e.remove_sharer(n);
-      if (e.sharers == 0) e.state = DirState::kUncached;
+      e.remove_sharer(n, nsl_);
+      if (e.sharers.empty()) e.state = DirState::kUncached;
     } else if (e.state == DirState::kExclusive && e.owner == n) {
       // Clean-exclusive eviction.
       e.state = DirState::kUncached;
@@ -520,10 +523,10 @@ unsigned DsmSystem::flush_page_at_node(NodeId n, Addr page, MissClass reason) {
       if (e.state == DirState::kExclusive && e.owner == n) {
         e.state = DirState::kUncached;
         e.owner = kNoNode;
-        e.sharers = 0;
+        e.sharers.clear();
       } else if (e.state == DirState::kShared) {
-        e.remove_sharer(n);
-        if (e.sharers == 0) e.state = DirState::kUncached;
+        e.remove_sharer(n, nsl_);
+        if (e.sharers.empty()) e.state = DirState::kUncached;
       }
     }
   }

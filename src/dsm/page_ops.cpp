@@ -80,7 +80,7 @@ Cycle DsmSystem::replicate_page(Addr page, NodeId node, Cycle now) {
   }
 
   pi.replicated = true;
-  pi.replica_mask |= (1u << node);
+  pi.replicas.add(node, nsl_);
   pi.mode[node] = PageMode::kReplica;
   pi.op_pending_until = t;
   stats_->node[node].page_replications++;
@@ -200,10 +200,14 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
        cfg_.timing.soft_trap;
   stats_->node[home].soft_traps++;
 
-  // Invalidate every replica (parallel round trips from home).
+  // Invalidate every member of the replica set (parallel round trips
+  // from home). Under a coarse-vector scheme the set is a conservative
+  // superset: non-replica nodes it covers still receive the inval order
+  // and ack it — that overshoot traffic is charged for real. Only nodes
+  // actually mapped kReplica are remapped.
   Cycle done = th;
-  for (NodeId s = 0; s < cfg_.nodes; ++s) {
-    if (!((pi.replica_mask >> s) & 1u)) continue;
+  pi.replicas.for_each(nsl_, [&](NodeId s) {
+    if (s == home) return;
     const Message inv = Message::control(MsgKind::kInval, home, s, page);
     const Message ack = Message::control(MsgKind::kAck, s, home, page);
     wire_bytes += inv.total_bytes() + ack.total_bytes();
@@ -211,11 +215,12 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
     flush_page_at_node(s, page, MissClass::kCoherence);
     ts += cfg_.timing.tlb_shootdown;
     stats_->node[s].tlb_shootdowns++;
-    pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
+    if (pi.mode[s] == PageMode::kReplica)
+      pi.mode[s] = PageMode::kCcNuma;  // remap as an ordinary remote page
     done = std::max(done, reply_reliable(ack, inv, ts));
-  }
+  });
   pi.replicated = false;
-  pi.replica_mask = 0;
+  pi.replicas.clear();
   pi.op_pending_until = done;
   stats_->node[writer_node].replica_collapses++;
   Cycle back = done;

@@ -28,14 +28,12 @@ std::uint64_t AdaptivePolicy::threshold_bytes(const AdaptState& st) const {
 }
 
 bool AdaptivePolicy::looks_read_only(const PageObs& obs) const {
-  return obs.no_write_misses(sys_->nodes());
+  return obs.no_write_misses();
 }
 
 bool AdaptivePolicy::dominates(const PageObs& obs, NodeId requester,
                                NodeId home) const {
-  std::uint64_t total = 0;
-  for (NodeId n = 0; n < sys_->nodes(); ++n) total += obs.remote_bytes[n];
-  return obs.remote_bytes[requester] * 2 >= total &&
+  return obs.remote_bytes(requester) * 2 >= obs.total_remote_bytes() &&
          obs.miss_ctr(requester) >= obs.miss_ctr(home);
 }
 
@@ -61,7 +59,7 @@ Cycle AdaptivePolicy::on_event(const PolicyEvent& ev, PageInfo* pi,
   if (req == pi->home) return now;
 
   AdaptState& st = state_[ev.page];
-  if (obs->remote_bytes[req] < threshold_bytes(st)) return now;
+  if (obs->remote_bytes(req) < threshold_bytes(st)) return now;
 
   // The accumulated remote bytes exceed k x the cost of moving the
   // page: staying put has lost the competitive bet. Pick the verb the
@@ -107,7 +105,7 @@ Cycle AdaptivePolicy::on_event(const PolicyEvent& ev, PageInfo* pi,
   // with no dominant user). Halve the ledger so the trigger re-arms
   // instead of firing on every further miss.
   counters().suppressed++;
-  obs->remote_bytes[req] /= 2;
+  obs->halve_remote_bytes(req);
   return now;
 }
 

@@ -14,14 +14,14 @@ Cycle MigRepPolicy::on_event(const PolicyEvent& ev, PageInfo* pi,
   const std::uint32_t threshold = sys_->timing().migrep_threshold;
 
   // Replication rule: a long-running read-shared page.
-  if (replication_ && !ev.is_write && obs->no_write_misses(sys_->nodes()) &&
-      obs->read_miss_ctr[requester] > threshold &&
+  if (replication_ && !ev.is_write && obs->no_write_misses() &&
+      obs->read_misses(requester) > threshold &&
       pi->mode[requester] != PageMode::kReplica) {
     sys_->replicate_page(ev.page, requester, now);
     counters().replications++;
     // The requester's counters served their purpose; reset them so the
     // next decision starts fresh.
-    obs->read_miss_ctr[requester] = 0;
+    obs->clear_read_misses(requester);
     return now;
   }
 

@@ -55,9 +55,9 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
         if (PageObs* d = obs_.find(displaced)) d->reset_migrep_counters();
       }
       if (ev.is_write)
-        obs.write_miss_ctr[ev.node]++;
+        obs.add_write_miss(ev.node);
       else
-        obs.read_miss_ctr[ev.node]++;
+        obs.add_read_miss(ev.node);
       // Periodic reset (Section 3.1): every `migrep_reset_interval`
       // counted misses to the page, its counters start over, bounding
       // stale history.
@@ -65,13 +65,13 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
         obs.counted_since_reset = 0;
         obs.reset_migrep_counters();
       }
-      if (ev.node != pi.home) obs.remote_bytes[ev.node] += ev.bytes;
+      if (ev.node != pi.home) obs.add_remote_bytes(ev.node, ev.bytes);
       break;
     }
     case PolicyEventKind::kRemoteFetch:
       // Refetch = a capacity/conflict-classified re-fetch of a block the
       // node cached before (Section 3.2's switching-counter input).
-      if (ev.miss_class == MissClass::kCapacity) obs.refetch_ctr[ev.node]++;
+      if (ev.miss_class == MissClass::kCapacity) obs.add_refetch(ev.node);
       // Integration gate (Section 6.4): relocation is held back until
       // the page has been observed for an initial miss interval.
       ev.relocation_allowed =
@@ -84,7 +84,7 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
       // *remote* use, so the home's own actions (e.g. the home writing
       // a replicated page collapses it with nonzero wire bytes) are
       // never charged to a remote_bytes slot.
-      if (ev.node != pi.home) obs.remote_bytes[ev.node] += ev.bytes;
+      if (ev.node != pi.home) obs.add_remote_bytes(ev.node, ev.bytes);
       break;
     case PolicyEventKind::kPageOpComplete:
       // An aborted op (fault layer) changed nothing: keep the counters
@@ -110,7 +110,7 @@ void PolicyEngine::decay_ledger(PageObs& obs) {
     const std::uint64_t elapsed = epoch_ - obs.ledger_epoch;
     const std::uint64_t shift =
         std::min<std::uint64_t>(63, elapsed * shift_per_epoch);
-    for (auto& b : obs.remote_bytes) b >>= shift;
+    obs.shift_remote_bytes(shift);
     obs.ledger_epoch = epoch_;
   }
 }

@@ -93,15 +93,39 @@ struct PolicyEvent {
 
 // Per-page observation record. This is monitoring state, not mechanism
 // state: the substrate never reads it, policies never bypass it.
+//
+// Counters live in a small fixed table of (node, counters) slots, not
+// machine-width arrays: at 1024 nodes a per-node array quadruples the
+// per-page footprint a thousandfold for pages that only ever see a
+// handful of distinct requesters. With at most kObsSlots distinct
+// nodes active on a page the table is exact — in particular, any
+// machine of <= 16 nodes behaves bit-identically to the historic
+// per-node arrays (the parity goldens pin this). Beyond that, a new
+// node recycles the least-active slot deterministically (first-min
+// scan order), which loses that slot's history — the same bounded-
+// counter information loss Section 6.4 models at the page level.
 struct PageObs {
-  // MigRep home-side per-node miss counters (Section 3.1).
-  std::array<std::uint32_t, kMaxNodes> read_miss_ctr{};
-  std::array<std::uint32_t, kMaxNodes> write_miss_ctr{};
-  // R-NUMA requester-side refetch counters (Section 3.2).
-  std::array<std::uint32_t, kMaxNodes> refetch_ctr{};
-  // Accumulated interconnect bytes (data + control) attributed to each
-  // node's remote use of this page — the adaptive engine's currency.
-  std::array<std::uint64_t, kMaxNodes> remote_bytes{};
+  static constexpr unsigned kObsSlots = 16;
+
+  struct NodeCtr {
+    NodeId node = kNoNode;
+    // MigRep home-side miss counters (Section 3.1).
+    std::uint32_t read_misses = 0;
+    std::uint32_t write_misses = 0;
+    // R-NUMA requester-side refetch counter (Section 3.2).
+    std::uint32_t refetches = 0;
+    // Accumulated interconnect bytes (data + control) attributed to
+    // this node's remote use of the page — the adaptive engine's
+    // currency.
+    std::uint64_t remote_bytes = 0;
+
+    std::uint64_t activity() const {
+      return std::uint64_t(read_misses) + write_misses + refetches +
+             remote_bytes;
+    }
+  };
+
+  std::array<NodeCtr, kObsSlots> slots{};
 
   // Total remote misses ever counted for this page (drives the
   // R-NUMA+MigRep integration delay).
@@ -115,22 +139,92 @@ struct PageObs {
   // trigger late page ops long after a page's traffic pattern moved on.
   std::uint64_t ledger_epoch = 0;
 
-  std::uint32_t miss_ctr(NodeId n) const {
-    return read_miss_ctr[n] + write_miss_ctr[n];
+  // Reads never insert: an absent node reads as zero.
+  const NodeCtr* find(NodeId n) const {
+    for (const NodeCtr& c : slots)
+      if (c.node == n) return &c;
+    return nullptr;
   }
-  // No write misses observed from any of the first `nodes` nodes since
-  // the last counter reset (the read-only test both the MigRep and the
-  // adaptive replication rules share).
-  bool no_write_misses(NodeId nodes) const {
-    for (NodeId n = 0; n < nodes; ++n)
-      if (write_miss_ctr[n] != 0) return false;
+  NodeCtr* find(NodeId n) {
+    for (NodeCtr& c : slots)
+      if (c.node == n) return &c;
+    return nullptr;
+  }
+  // Find-or-insert; recycles the deterministic least-active occupied
+  // slot when the table is full (ties break on lowest slot index).
+  NodeCtr& at(NodeId n) {
+    NodeCtr* free_slot = nullptr;
+    NodeCtr* victim = nullptr;
+    for (NodeCtr& c : slots) {
+      if (c.node == n) return c;
+      if (c.node == kNoNode) {
+        if (!free_slot) free_slot = &c;
+      } else if (!victim || c.activity() < victim->activity()) {
+        victim = &c;
+      }
+    }
+    NodeCtr* dst = free_slot ? free_slot : victim;
+    *dst = NodeCtr{};
+    dst->node = n;
+    return *dst;
+  }
+
+  std::uint32_t read_misses(NodeId n) const {
+    const NodeCtr* c = find(n);
+    return c ? c->read_misses : 0;
+  }
+  std::uint32_t write_misses(NodeId n) const {
+    const NodeCtr* c = find(n);
+    return c ? c->write_misses : 0;
+  }
+  std::uint32_t refetches(NodeId n) const {
+    const NodeCtr* c = find(n);
+    return c ? c->refetches : 0;
+  }
+  std::uint64_t remote_bytes(NodeId n) const {
+    const NodeCtr* c = find(n);
+    return c ? c->remote_bytes : 0;
+  }
+  std::uint32_t miss_ctr(NodeId n) const {
+    const NodeCtr* c = find(n);
+    return c ? c->read_misses + c->write_misses : 0;
+  }
+  std::uint64_t total_remote_bytes() const {
+    std::uint64_t sum = 0;
+    for (const NodeCtr& c : slots) sum += c.remote_bytes;
+    return sum;
+  }
+  // No write misses observed from any node since the last counter reset
+  // (the read-only test both the MigRep and the adaptive replication
+  // rules share).
+  bool no_write_misses() const {
+    for (const NodeCtr& c : slots)
+      if (c.write_misses != 0) return false;
     return true;
   }
-  void reset_migrep_counters() {
-    read_miss_ctr.fill(0);
-    write_miss_ctr.fill(0);
+
+  void add_read_miss(NodeId n) { at(n).read_misses++; }
+  void add_write_miss(NodeId n) { at(n).write_misses++; }
+  void add_refetch(NodeId n) { at(n).refetches++; }
+  void add_remote_bytes(NodeId n, std::uint64_t b) { at(n).remote_bytes += b; }
+  void clear_read_misses(NodeId n) {
+    if (NodeCtr* c = find(n)) c->read_misses = 0;
   }
-  void reset_remote_bytes() { remote_bytes.fill(0); }
+  void clear_refetches(NodeId n) {
+    if (NodeCtr* c = find(n)) c->refetches = 0;
+  }
+  void halve_remote_bytes(NodeId n) {
+    if (NodeCtr* c = find(n)) c->remote_bytes /= 2;
+  }
+  void shift_remote_bytes(std::uint64_t shift) {
+    for (NodeCtr& c : slots) c.remote_bytes >>= shift;
+  }
+  void reset_migrep_counters() {
+    for (NodeCtr& c : slots) c.read_misses = c.write_misses = 0;
+  }
+  void reset_remote_bytes() {
+    for (NodeCtr& c : slots) c.remote_bytes = 0;
+  }
 };
 
 // Finite pool of per-page miss counters at a home node (Section 6.4:

@@ -10,7 +10,7 @@ Cycle RNumaPolicy::on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
   if (ev.miss_class != MissClass::kCapacity) return now;
   // The engine already counted this refetch in its bookkeeping pass.
   const NodeId n = ev.node;
-  if (obs->refetch_ctr[n] <= sys_->timing().rnuma_threshold) return now;
+  if (obs->refetches(n) <= sys_->timing().rnuma_threshold) return now;
   if (!ev.relocation_allowed) {  // Section 6.4 integration gate
     counters().suppressed++;
     return now;
@@ -18,7 +18,7 @@ Cycle RNumaPolicy::on_event(const PolicyEvent& ev, PageInfo* pi, PageObs* obs,
   (void)pi;
 
   // Relocation interrupt: remap the page into the local page cache.
-  obs->refetch_ctr[n] = 0;
+  obs->clear_refetches(n);
   counters().relocations++;
   return sys_->relocate_to_scoma(n, ev.page, now);
 }

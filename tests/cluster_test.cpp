@@ -170,8 +170,8 @@ TEST_F(ClusterTest, DirtyRemoteFetchRecallsFromOwner) {
   EXPECT_GT(lat, 418u + cfg_.timing.soft_trap);
   const DirEntry* e = sys_->directory().find(block_of(a));
   EXPECT_EQ(e->state, DirState::kShared);
-  EXPECT_TRUE(e->is_sharer(1));
-  EXPECT_TRUE(e->is_sharer(2));
+  EXPECT_TRUE(e->is_sharer(1, sys_->node_set_layout()));
+  EXPECT_TRUE(e->is_sharer(2, sys_->node_set_layout()));
   sys_->check_coherence();
 }
 
@@ -344,8 +344,8 @@ TEST_F(ClusterTest, ScomaDirtyBlockServedToOtherNode) {
   go(2, 0, a, false, end + 100000);  // node 2 reads: recall from node 1
   const DirEntry* e = sys_->directory().find(block_of(a));
   EXPECT_EQ(e->state, DirState::kShared);
-  EXPECT_TRUE(e->is_sharer(1));
-  EXPECT_TRUE(e->is_sharer(2));
+  EXPECT_TRUE(e->is_sharer(1, sys_->node_set_layout()));
+  EXPECT_TRUE(e->is_sharer(2, sys_->node_set_layout()));
   sys_->check_coherence();
 }
 

@@ -14,6 +14,12 @@
 namespace dsm {
 namespace {
 
+// Directory and PageTable tests run under the default 8-node full-map
+// layout unless they exercise a wider machine explicitly.
+NodeSetLayout layout8() {
+  return NodeSetLayout::make(8, DirScheme::kFullMap);
+}
+
 TEST(BlockCache, InstallProbeInvalidate) {
   BlockCache bc(64 * 1024, 1);
   EXPECT_EQ(bc.probe(10), nullptr);
@@ -171,23 +177,64 @@ TEST(PageCache, InfiniteCapacity) {
 }
 
 TEST(Directory, EntryLifecycle) {
-  Directory d;
+  const NodeSetLayout l = layout8();
+  Directory d(l);
   EXPECT_EQ(d.find(9), nullptr);
   DirEntry& e = d.entry(9);
   e.state = DirState::kShared;
-  e.add_sharer(3);
-  e.add_sharer(5);
-  EXPECT_TRUE(d.find(9)->is_sharer(3));
-  EXPECT_FALSE(d.find(9)->is_sharer(4));
-  EXPECT_EQ(d.find(9)->sharer_count(), 2u);
-  e.remove_sharer(3);
-  EXPECT_EQ(d.find(9)->sharer_count(), 1u);
+  e.add_sharer(3, l);
+  e.add_sharer(5, l);
+  EXPECT_TRUE(d.find(9)->is_sharer(3, l));
+  EXPECT_FALSE(d.find(9)->is_sharer(4, l));
+  EXPECT_EQ(d.find(9)->sharer_count(l), 2u);
+  e.remove_sharer(3, l);
+  EXPECT_EQ(d.find(9)->sharer_count(l), 1u);
   d.erase(9);
   EXPECT_EQ(d.find(9), nullptr);
 }
 
+// Regression: sharer ids past bit 31 must not alias low nodes. The old
+// raw-uint32 directory computed `1u << n` with n >= 32 (undefined; in
+// practice node 33 aliased node 1). A 64-node full-map layout must keep
+// the two distinct.
+TEST(Directory, WideNodeIdsDoNotAliasLowNodes) {
+  const NodeSetLayout l = NodeSetLayout::make(64, DirScheme::kFullMap);
+  Directory d(l);
+  DirEntry& e = d.entry(4);
+  e.state = DirState::kShared;
+  e.add_sharer(33, l);
+  EXPECT_TRUE(e.is_sharer(33, l));
+  EXPECT_FALSE(e.is_sharer(1, l));
+  EXPECT_EQ(e.sharer_count(l), 1u);
+  e.add_sharer(1, l);
+  EXPECT_EQ(e.sharer_count(l), 2u);
+  e.remove_sharer(33, l);
+  EXPECT_FALSE(e.is_sharer(33, l));
+  EXPECT_TRUE(e.is_sharer(1, l));
+}
+
+TEST(Directory, UsageCensusCountsSharersAndStorage) {
+  const NodeSetLayout l = layout8();
+  Directory d(l);
+  DirEntry& a = d.entry(1);
+  a.state = DirState::kShared;
+  a.add_sharer(0, l);
+  a.add_sharer(5, l);
+  DirEntry& b = d.entry(2);
+  b.state = DirState::kExclusive;
+  b.owner = 3;
+  const DirUsage u = d.usage();
+  EXPECT_EQ(u.nodes, 8u);
+  EXPECT_EQ(u.entries, 2u);
+  EXPECT_EQ(u.shared_entries, 1u);
+  EXPECT_EQ(u.coarse_entries, 0u);
+  EXPECT_EQ(u.sharers_measured, 2u);
+  EXPECT_EQ(u.sharer_bits_full_map, 16u);  // 2 entries x 8 nodes
+  EXPECT_GT(u.sharer_bits_used, 0u);
+}
+
 TEST(PageTable, FirstTouchBinding) {
-  PageTable pt(8);
+  PageTable pt(8, layout8());
   EXPECT_FALSE(pt.is_bound(7));
   pt.info(7).home = 3;
   EXPECT_TRUE(pt.is_bound(7));
@@ -197,7 +244,7 @@ TEST(PageTable, FirstTouchBinding) {
 // Report rows and coherence-check walks follow container iteration
 // order; these pins keep it sorted-by-address on every stdlib.
 TEST(PageTable, ForEachIsSortedByPage) {
-  PageTable pt(8);
+  PageTable pt(8, layout8());
   for (Addr p : {Addr(77), Addr(3), Addr(4096), Addr(512), Addr(1)})
     pt.info(p).home = 0;
   std::vector<Addr> order;
@@ -206,7 +253,7 @@ TEST(PageTable, ForEachIsSortedByPage) {
 }
 
 TEST(Directory, ForEachIsSortedByBlock) {
-  Directory d;
+  Directory d(layout8());
   for (Addr b : {Addr(900), Addr(2), Addr(64), Addr(33)})
     d.entry(b).state = DirState::kShared;
   d.erase(64);
@@ -227,13 +274,33 @@ TEST(PageTable, InfoStartsUnbound) {
   // PageInfo is pure mechanism state now; the observation counters the
   // decision engines use live in PolicyEngine::PageObs (covered by
   // policy_engine_test.cpp).
-  PageTable pt(8);
+  PageTable pt(8, layout8());
   PageInfo& pi = pt.info(1);
   EXPECT_EQ(pi.home, kNoNode);
   EXPECT_FALSE(pi.replicated);
   EXPECT_EQ(pi.op_pending_until, 0u);
   for (NodeId n = 0; n < 8; ++n)
     EXPECT_EQ(pi.mode[n], PageMode::kUnmapped);
+}
+
+// Wide machines spill the 2-bit-per-node page modes into lazily
+// attached extension words; every node id must round-trip its mode.
+TEST(PageTable, WideModeVectorRoundTrips) {
+  const NodeSetLayout l = NodeSetLayout::make(1024, DirScheme::kCoarse);
+  PageTable pt(1024, l);
+  PageInfo& pi = pt.info(7);
+  pi.mode[0] = PageMode::kCcNuma;
+  pi.mode[63] = PageMode::kScoma;
+  pi.mode[64] = PageMode::kReplica;
+  pi.mode[1023] = PageMode::kCcNuma;
+  EXPECT_EQ(pi.mode[0], PageMode::kCcNuma);
+  EXPECT_EQ(pi.mode[63], PageMode::kScoma);
+  EXPECT_EQ(pi.mode[64], PageMode::kReplica);
+  EXPECT_EQ(pi.mode[1023], PageMode::kCcNuma);
+  // Untouched ids stay unmapped, including neighbours of the set ones.
+  EXPECT_EQ(pi.mode[1], PageMode::kUnmapped);
+  EXPECT_EQ(pi.mode[65], PageMode::kUnmapped);
+  EXPECT_EQ(pi.mode[1022], PageMode::kUnmapped);
 }
 
 }  // namespace

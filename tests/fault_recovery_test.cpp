@@ -445,5 +445,29 @@ TEST(ChaosSoak, LinkOutagesRerouteUnderLoad) {
   EXPECT_TRUE(a == b);  // outage schedule is part of the seed
 }
 
+TEST(ChaosSoak, CoarseVectorSoakBeyondThe32NodeBoundary) {
+  // 64 nodes crosses the historic 32-bit sharer-mask width and the
+  // coarse scheme routes every invalidation through the conservative
+  // region multicast. The recovery ledger (retries, NACKs, reroutes)
+  // must stay engine-invariant out here too: the sharded engine replays
+  // the exact faults the serial engine saw.
+  auto wide = [](std::uint32_t shards) {
+    RunSpec spec = chaos_spec(10.0, shards);
+    spec.system.nodes = 64;
+    spec.system.cpus_per_node = 1;
+    spec.system.dir_scheme = DirScheme::kCoarse;
+    spec.system.fabric = FabricKind::kMesh2d;  // 8x8: reroutes can fire
+    spec.system.faults.rand_link_downs = 4;
+    spec.system.faults.rand_link_down_len = 100000;
+    spec.system.faults.rand_link_down_horizon = 2'000'000;
+    return spec;
+  };
+  const ChaosResult serial = run_chaos(wide(0));
+  const ChaosResult sharded = run_chaos(wide(4));
+  EXPECT_TRUE(serial == sharded);
+  EXPECT_GT(serial.faults.drops_injected, 0u);
+  EXPECT_GT(serial.faults.retries, 0u);
+}
+
 }  // namespace
 }  // namespace dsm

@@ -72,17 +72,34 @@ class PolicyEngineTest : public ::testing::Test {
 TEST_F(PolicyEngineTest, PageObsCountersStartZeroAndReset) {
   PageObs obs;
   for (NodeId n = 0; n < kMaxNodes; ++n) {
-    EXPECT_EQ(obs.read_miss_ctr[n], 0u);
-    EXPECT_EQ(obs.write_miss_ctr[n], 0u);
-    EXPECT_EQ(obs.refetch_ctr[n], 0u);
-    EXPECT_EQ(obs.remote_bytes[n], 0u);
+    EXPECT_EQ(obs.read_misses(n), 0u);
+    EXPECT_EQ(obs.write_misses(n), 0u);
+    EXPECT_EQ(obs.refetches(n), 0u);
+    EXPECT_EQ(obs.remote_bytes(n), 0u);
   }
-  obs.read_miss_ctr[2] = 10;
-  obs.write_miss_ctr[3] = 5;
+  for (int i = 0; i < 10; ++i) obs.add_read_miss(2);
+  for (int i = 0; i < 5; ++i) obs.add_write_miss(3);
   EXPECT_EQ(obs.miss_ctr(2), 10u);
+  EXPECT_EQ(obs.miss_ctr(3), 5u);
   obs.reset_migrep_counters();
   EXPECT_EQ(obs.miss_ctr(2), 0u);
   EXPECT_EQ(obs.miss_ctr(3), 0u);
+}
+
+// The slot table is exact for up to kObsSlots distinct nodes; a 17th
+// node recycles the least-active slot (losing only that slot's
+// history), and ties break on the lowest slot index deterministically.
+TEST_F(PolicyEngineTest, PageObsSlotTableEvictsLeastActiveNode) {
+  PageObs obs;
+  for (NodeId n = 0; n < PageObs::kObsSlots; ++n)
+    for (NodeId i = 0; i <= n; ++i) obs.add_read_miss(n);
+  // All 16 slots occupied, node 0 least active (1 miss).
+  EXPECT_EQ(obs.read_misses(0), 1u);
+  EXPECT_EQ(obs.read_misses(15), 16u);
+  obs.add_read_miss(100);  // 17th distinct node: recycles node 0's slot
+  EXPECT_EQ(obs.read_misses(100), 1u);
+  EXPECT_EQ(obs.read_misses(0), 0u);    // history lost with the slot
+  EXPECT_EQ(obs.read_misses(15), 16u);  // everyone else untouched
 }
 
 TEST_F(PolicyEngineTest, MissEventsFeedCountersAndBytes) {
@@ -94,14 +111,14 @@ TEST_F(PolicyEngineTest, MissEventsFeedCountersAndBytes) {
   miss(page_of(a), 2, /*write=*/false, 96);
   const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
   ASSERT_NE(obs, nullptr);
-  EXPECT_EQ(obs->read_miss_ctr[1], 1u);
-  EXPECT_EQ(obs->write_miss_ctr[1], 1u);
+  EXPECT_EQ(obs->read_misses(1), 1u);
+  EXPECT_EQ(obs->write_misses(1), 1u);
   EXPECT_EQ(obs->miss_ctr(1), 2u);
-  EXPECT_EQ(obs->remote_bytes[1], 128u);
-  EXPECT_EQ(obs->remote_bytes[2], 96u);
+  EXPECT_EQ(obs->remote_bytes(1), 128u);
+  EXPECT_EQ(obs->remote_bytes(2), 96u);
   // The home's own (local, zero-byte) misses feed counters, not bytes.
   EXPECT_GE(obs->miss_ctr(0), 1u);  // the bind access
-  EXPECT_EQ(obs->remote_bytes[0], 0u);
+  EXPECT_EQ(obs->remote_bytes(0), 0u);
 }
 
 TEST_F(PolicyEngineTest, PeriodicResetClearsMigRepCounters) {
@@ -113,9 +130,9 @@ TEST_F(PolicyEngineTest, PeriodicResetClearsMigRepCounters) {
   miss(page_of(a), 1, false);
   miss(page_of(a), 1, false);
   const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
-  EXPECT_EQ(obs->read_miss_ctr[1], 2u);
+  EXPECT_EQ(obs->read_misses(1), 2u);
   miss(page_of(a), 1, false);  // 4th counted miss: reset fires
-  EXPECT_EQ(obs->read_miss_ctr[1], 0u);
+  EXPECT_EQ(obs->read_misses(1), 0u);
   EXPECT_EQ(obs->lifetime_misses, 4u);  // lifetime count survives resets
 }
 
@@ -133,13 +150,13 @@ TEST_F(PolicyEngineTest, CounterCacheDisplacementClearsCounters) {
   miss(page_of(a), 1, false);
   miss(page_of(a), 1, false);
   const PageObs* oa = sys_->policy_engine().find_obs(page_of(a));
-  EXPECT_EQ(oa->read_miss_ctr[1], 2u);
+  EXPECT_EQ(oa->read_misses(1), 2u);
   // Touching b displaces a (capacity 1): a's counters clear instantly.
   miss(page_of(b), 1, false);
-  EXPECT_EQ(oa->read_miss_ctr[1], 0u);
+  EXPECT_EQ(oa->read_misses(1), 0u);
   EXPECT_EQ(oa->miss_ctr(0), 0u);
   const PageObs* ob = sys_->policy_engine().find_obs(page_of(b));
-  EXPECT_EQ(ob->read_miss_ctr[1], 1u);
+  EXPECT_EQ(ob->read_misses(1), 1u);
   EXPECT_GE(sys_->policy_engine().counter_cache(0).evictions(), 1u);
 }
 
@@ -171,21 +188,21 @@ TEST_F(PolicyEngineTest, LedgerHalvesOncePerElapsedEpoch) {
   miss(page_of(a), 1, false, 640);  // event 2
   const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
   ASSERT_NE(obs, nullptr);
-  EXPECT_EQ(obs->remote_bytes[1], 640u);
+  EXPECT_EQ(obs->remote_bytes(1), 640u);
   bind(b, 0);                      // event 3
   miss(page_of(b), 1, false, 96);  // event 4: epoch tick fires
   ASSERT_EQ(sys_->policy_engine().epoch(), 1u);
   // Decay is lazy: a's ledger is untouched until a's next event...
-  EXPECT_EQ(obs->remote_bytes[1], 640u);
+  EXPECT_EQ(obs->remote_bytes(1), 640u);
   // ...which first halves it once (one elapsed epoch), then adds the
   // event's own bytes.
   miss(page_of(a), 1, false, 96);  // event 5
-  EXPECT_EQ(obs->remote_bytes[1], 640u / 2 + 96u);
+  EXPECT_EQ(obs->remote_bytes(1), 640u / 2 + 96u);
   // Two further elapsed epochs -> two further halvings before the add.
   for (int i = 0; i < 8; ++i) miss(page_of(b), 1, false, 96);  // 6..13
   ASSERT_EQ(sys_->policy_engine().epoch(), 3u);
   miss(page_of(a), 1, false, 96);  // event 14
-  EXPECT_EQ(obs->remote_bytes[1], (640u / 2 + 96u) / 4 + 96u);
+  EXPECT_EQ(obs->remote_bytes(1), (640u / 2 + 96u) / 4 + 96u);
 }
 
 TEST_F(PolicyEngineTest, LedgerDecayShiftZeroDisablesDecay) {
@@ -199,7 +216,7 @@ TEST_F(PolicyEngineTest, LedgerDecayShiftZeroDisablesDecay) {
   for (int i = 0; i < 10; ++i) miss(page_of(a), 2, false, 96);
   ASSERT_GE(sys_->policy_engine().epoch(), 2u);
   const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
-  EXPECT_EQ(obs->remote_bytes[1], 640u);  // accumulates, never decays
+  EXPECT_EQ(obs->remote_bytes(1), 640u);  // accumulates, never decays
 }
 
 TEST_F(PolicyEngineTest, LedgerDecayLongIdleClampsToZero) {
@@ -215,7 +232,7 @@ TEST_F(PolicyEngineTest, LedgerDecayLongIdleClampsToZero) {
   for (int i = 0; i < 8; ++i) miss(page_of(b), 1, false, 96);  // 4..11
   ASSERT_EQ(sys_->policy_engine().epoch(), 2u);
   miss(page_of(a), 1, false, 96);  // shift clamps to 63: old bytes gone
-  EXPECT_EQ(sys_->policy_engine().find_obs(page_of(a))->remote_bytes[1], 96u);
+  EXPECT_EQ(sys_->policy_engine().find_obs(page_of(a))->remote_bytes(1), 96u);
 }
 
 // ---------------------------------------------------------------------------
@@ -264,9 +281,9 @@ TEST_F(PolicyEngineTest, RNumaRelocatesAfterScriptedRefetches) {
   EXPECT_EQ(stats_.policy_counters("rnuma")->relocations, 1u);
   // Cold misses never count as refetches: counter untouched afterwards.
   const PageObs* obs = sys_->policy_engine().find_obs(page_of(a));
-  const auto refetches = obs->refetch_ctr[1];
+  const auto refetches = obs->refetches(1);
   fetch(page_of(a), 1, MissClass::kCold);
-  EXPECT_EQ(obs->refetch_ctr[1], refetches);
+  EXPECT_EQ(obs->refetches(1), refetches);
 }
 
 TEST_F(PolicyEngineTest, RelocationDelayGateSuppressesRNuma) {
