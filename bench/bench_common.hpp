@@ -41,19 +41,28 @@ struct Options {
   // Sweep-harness worker count (--jobs N; 0 = hardware concurrency,
   // 1 = serial).
   unsigned jobs = 0;
-  // Home-sharded engine (--shards N; 0 = serial engine, the default)
-  // and its drive mode (--shard-threads inline|threads|auto). Results
-  // are bit-identical at every shard count and drive mode.
+  // Home-sharded engine (--shards N; 0 = serial engine, the default),
+  // its drive mode (--shard-threads inline|threads|auto), and the
+  // conservative-lookahead overlapping-window schedule
+  // (--shard-overlap). Results are bit-identical at every shard count,
+  // drive mode, and overlap setting.
   std::uint32_t shards = 0;
   SystemConfig::ShardThreads shard_threads = SystemConfig::ShardThreads::kAuto;
+  bool shard_overlap = false;
   // Fault injection (--fault-seed N enables; --fault-drop-pct P,
+  // --fault-dup-pct P, --fault-delay-pct P, --fault-delay-cycles C,
   // --fault-link-downs K, --fault-retry-base C, --fault-retry-max A
-  // shape the plan). Faults off (the default) is bit-identical to a
-  // build without the fault layer.
+  // shape the plan; --fault-link-down a:b@cycle+N schedules an explicit
+  // node-pair outage and works without a seed). Faults off (the
+  // default) is bit-identical to a build without the fault layer.
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
   double fault_drop_pct = 1.0;
+  double fault_dup_pct = 0.0;
+  double fault_delay_pct = 0.0;
+  Cycle fault_delay_cycles = 0;  // 0 = keep FaultConfig default
   std::uint32_t fault_link_downs = 0;
+  std::vector<FaultConfig::NodeLinkDown> fault_node_link_downs;
   Cycle fault_retry_base = 0;      // 0 = keep TimingConfig default
   std::uint32_t fault_retry_max = 0;  // 0 = keep TimingConfig default
   // Machine shape (--nodes N, --cpus-per-node N; 0 keeps the
@@ -79,11 +88,19 @@ struct Options {
     if (adaptive_k != 0) sc.timing.adaptive_k = adaptive_k;
     sc.shards = shards;
     sc.shard_threads = shard_threads;
+    sc.shard_overlap = shard_overlap;
     if (fault_seed_set) {
       sc.faults.seed = fault_seed;
       sc.faults.drop_pct = fault_drop_pct;
+      sc.faults.dup_pct = fault_dup_pct;
+      sc.faults.delay_pct = fault_delay_pct;
+      if (fault_delay_cycles != 0) sc.faults.delay_cycles = fault_delay_cycles;
       sc.faults.rand_link_downs = fault_link_downs;
     }
+    // Explicit node-pair outages are a deterministic schedule, not a
+    // seeded draw — they enable the fault layer on their own.
+    if (!fault_node_link_downs.empty())
+      sc.faults.node_link_downs = fault_node_link_downs;
     if (fault_retry_base != 0) sc.timing.fault_retry_base = fault_retry_base;
     if (fault_retry_max != 0)
       sc.timing.fault_retry_max_attempts = fault_retry_max;
@@ -110,6 +127,11 @@ class SystemFlagParser {
   // whose value operand is missing is left unconsumed, matching the
   // historic parser.
   bool consume(int argc, char** argv, int& i) {
+    // Boolean flags (no value operand).
+    if (std::strcmp(argv[i], "--shard-overlap") == 0) {
+      o_->shard_overlap = true;
+      return true;
+    }
     if (i + 1 >= argc) return false;
     const char* flag = argv[i];
     const char* arg = argv[i + 1];
@@ -183,11 +205,16 @@ class SystemFlagParser {
       o_->fault_seed = parse_uint(flag, arg, 0, ~std::uint64_t(0), "a seed");
       o_->fault_seed_set = true;
     } else if (std::strcmp(flag, "--fault-drop-pct") == 0) {
-      char* end = nullptr;
-      const double v = std::strtod(arg, &end);
-      if (end == arg || *end != '\0' || v < 0.0 || v > 100.0)
-        die(flag, arg, "0..100");
-      o_->fault_drop_pct = v;
+      o_->fault_drop_pct = parse_pct(flag, arg);
+    } else if (std::strcmp(flag, "--fault-dup-pct") == 0) {
+      o_->fault_dup_pct = parse_pct(flag, arg);
+    } else if (std::strcmp(flag, "--fault-delay-pct") == 0) {
+      o_->fault_delay_pct = parse_pct(flag, arg);
+    } else if (std::strcmp(flag, "--fault-delay-cycles") == 0) {
+      o_->fault_delay_cycles = Cycle(
+          parse_uint(flag, arg, 1, ~std::uint64_t(0), "extra cycles > 0"));
+    } else if (std::strcmp(flag, "--fault-link-down") == 0) {
+      o_->fault_node_link_downs.push_back(parse_link_down(flag, arg));
     } else if (std::strcmp(flag, "--fault-link-downs") == 0) {
       o_->fault_link_downs = std::uint32_t(
           parse_uint(flag, arg, 0, 1u << 16, "an outage count"));
@@ -219,6 +246,35 @@ class SystemFlagParser {
     if (end == arg || *end != '\0' || v < lo || v > hi)
       die(flag, arg, expected);
     return v;
+  }
+
+  static double parse_pct(const char* flag, const char* arg) {
+    char* end = nullptr;
+    const double v = std::strtod(arg, &end);
+    if (end == arg || *end != '\0' || v < 0.0 || v > 100.0)
+      die(flag, arg, "0..100");
+    return v;
+  }
+
+  // --fault-link-down a:b@cycle+N — the directed link from node a
+  // toward adjacent node b goes down at `cycle` for N cycles.
+  static FaultConfig::NodeLinkDown parse_link_down(const char* flag,
+                                                   const char* arg) {
+    FaultConfig::NodeLinkDown nd;
+    char* p = nullptr;
+    nd.a = std::uint32_t(std::strtoul(arg, &p, 10));
+    if (p == arg || *p != ':') die(flag, arg, "a:b@cycle+N");
+    const char* q = p + 1;
+    nd.b = std::uint32_t(std::strtoul(q, &p, 10));
+    if (p == q || *p != '@') die(flag, arg, "a:b@cycle+N");
+    q = p + 1;
+    nd.down = Cycle(std::strtoull(q, &p, 10));
+    if (p == q || *p != '+') die(flag, arg, "a:b@cycle+N");
+    q = p + 1;
+    nd.len = Cycle(std::strtoull(q, &p, 10));
+    if (p == q || *p != '\0' || nd.len == 0 || nd.a == nd.b)
+      die(flag, arg, "a:b@cycle+N");
+    return nd;
   }
 
   Options* o_;
@@ -430,6 +486,9 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           "\"delays_injected\": %llu,\n"
           "   \"retries\": %llu, \"nacks\": %llu, \"reroutes\": %llu, "
           "\"aborted_page_ops\": %llu, \"hard_errors\": %llu,\n"
+          "   \"fault_drop_pct\": %.3f, \"fault_dup_pct\": %.3f, "
+          "\"fault_delay_pct\": %.3f, \"fault_delay_cycles\": %llu, "
+          "\"fault_link_downs\": %zu,\n"
           "   \"sim_refs\": %llu, \"wall_seconds\": %.4f, "
           "\"events_per_sec\": %.0f, \"jobs\": %u}",
           first ? "" : ",\n", bench, apps[a].c_str(), c.name.c_str(),
@@ -451,6 +510,12 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           static_cast<unsigned long long>(r.stats.faults.reroutes),
           static_cast<unsigned long long>(r.stats.faults.aborted_page_ops),
           static_cast<unsigned long long>(r.stats.faults.hard_errors),
+          r.spec.system.faults.drop_pct, r.spec.system.faults.dup_pct,
+          r.spec.system.faults.delay_pct,
+          static_cast<unsigned long long>(r.spec.system.faults.delay_cycles),
+          r.spec.system.faults.link_downs.size() +
+              r.spec.system.faults.node_link_downs.size() +
+              r.spec.system.faults.rand_link_downs,
           static_cast<unsigned long long>(r.sim_refs()), r.wall_seconds,
           r.events_per_sec(), jobs);
       first = false;

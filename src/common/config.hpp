@@ -218,6 +218,19 @@ struct FaultConfig {
   };
   std::vector<LinkDown> link_downs;
 
+  // Node-pair outage schedule (--fault-link-down a:b@cycle+N): the
+  // directed link from node `a`'s router toward adjacent node `b` is
+  // dead for cycles [down, down + len). Resolved to a (router, dir)
+  // LinkDown by the fault layer at construction — the two nodes must be
+  // mesh/torus neighbors, which the resolver asserts.
+  struct NodeLinkDown {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    Cycle down = 0;
+    Cycle len = 0;
+  };
+  std::vector<NodeLinkDown> node_link_downs;
+
   // Seeded random outages: this many extra LinkDown intervals are drawn
   // from the plan RNG at construction, each rand_link_down_len cycles
   // long with start cycles uniform in [0, rand_link_down_horizon).
@@ -227,7 +240,8 @@ struct FaultConfig {
 
   bool enabled() const {
     return drop_pct > 0.0 || dup_pct > 0.0 || delay_pct > 0.0 ||
-           !link_downs.empty() || rand_link_downs > 0;
+           !link_downs.empty() || !node_link_downs.empty() ||
+           rand_link_downs > 0;
   }
 };
 
@@ -285,6 +299,13 @@ struct SystemConfig {
   // one worker thread per shard (what the TSan job exercises).
   enum class ShardThreads : std::uint8_t { kAuto = 0, kInline, kThreaded };
   ShardThreads shard_threads = ShardThreads::kAuto;
+  // Conservative-lookahead overlapping shard windows (--shard-overlap):
+  // a shard whose whole next window is provably inside the safe horizon
+  // (min over the other shards' published clocks plus the per-pair wire
+  // lookahead, counting in-flight wake envelopes) runs it without
+  // waiting for the baton. Bit-identical to the baton ring and to the
+  // serial engine; off by default (the baton ring is the reference).
+  bool shard_overlap = false;
 
   std::uint64_t seed = 0x5eed5eedULL;
 

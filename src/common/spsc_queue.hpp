@@ -18,12 +18,14 @@
 // release/acquire chain).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory_resource>
 
 #include "common/log.hpp"
+#include "common/types.hpp"
 
 namespace dsm {
 
@@ -50,6 +52,7 @@ class SpscQueue {
 
   SpscQueue(SpscQueue&& o) noexcept
       : mem_(o.mem_), buf_(o.buf_), mask_(o.mask_),
+        min_stamp_(o.min_stamp_),
         head_(o.head_.load(std::memory_order_relaxed)),
         tail_(o.tail_.load(std::memory_order_relaxed)) {
     o.buf_ = nullptr;
@@ -71,6 +74,24 @@ class SpscQueue {
     head_.store(h + 1, std::memory_order_release);
   }
 
+  // Stamped push: like push(), but also folds `stamp` into the running
+  // minimum over the ring's current contents (min_stamp()). The sharded
+  // engine stamps each wake envelope with its *effective* clock, so the
+  // window-closing shard can bound every in-flight wake from one scalar
+  // per ring instead of walking the contents. min_stamp_ is a plain
+  // field: it is written by the producer's turn and read/reset by the
+  // consumer's turn, and turns are totally ordered by the engine's
+  // release/acquire hand-off chain — outside that protocol the stamp
+  // accessors are not thread-safe.
+  void push(const T& v, Cycle stamp) {
+    min_stamp_ = std::min(min_stamp_, stamp);
+    push(v);
+  }
+
+  // Minimum stamp over the current contents; kNeverCycle when empty (or
+  // when nothing was ever pushed with a stamp).
+  Cycle min_stamp() const { return min_stamp_; }
+
   bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
@@ -90,6 +111,9 @@ class SpscQueue {
       ++t;
     }
     tail_.store(t, std::memory_order_release);
+    // drain() always empties the ring (the producer is quiescent during
+    // the consumer's turn), so the contents minimum resets with it.
+    min_stamp_ = kNeverCycle;
   }
 
   // Non-consuming FIFO scan. Producer must be quiescent (see header).
@@ -107,6 +131,7 @@ class SpscQueue {
   std::pmr::memory_resource* mem_;
   T* buf_ = nullptr;
   std::size_t mask_ = 0;
+  Cycle min_stamp_ = kNeverCycle;  // see push(v, stamp)
   // Producer writes head_, consumer writes tail_; both are read by the
   // other side, so they sit on separate cache lines.
   alignas(64) std::atomic<std::uint64_t> head_{0};

@@ -23,6 +23,8 @@ struct ShardEnv {
   std::uint32_t shards = 0;
   bool have_threads = false;
   SystemConfig::ShardThreads threads = SystemConfig::ShardThreads::kAuto;
+  bool have_overlap = false;
+  bool overlap = false;
 };
 
 const ShardEnv& shard_env() {
@@ -38,6 +40,10 @@ const ShardEnv& shard_env() {
         e.threads = SystemConfig::ShardThreads::kThreaded;
       else
         e.threads = SystemConfig::ShardThreads::kAuto;
+    }
+    if (const char* s = std::getenv("DSM_SHARD_OVERLAP")) {
+      e.have_overlap = true;
+      e.overlap = std::strcmp(s, "0") != 0;
     }
     return e;
   }();
@@ -57,6 +63,7 @@ RunResult run_one(const RunSpec& spec) {
     const ShardEnv& env = shard_env();
     ecfg.shards = env.shards;
     if (env.have_threads) ecfg.shard_threads = env.threads;
+    if (env.have_overlap) ecfg.shard_overlap = env.overlap;
   }
 
   auto system = make_system(ecfg, &result.stats);
@@ -64,7 +71,8 @@ RunResult run_one(const RunSpec& spec) {
   if (ecfg.shards > 0) {
     engine_ptr = std::make_unique<ShardedEngine>(
         ecfg, system.get(), &result.stats, ecfg.shards,
-        system->fabric().min_wire_latency(), &system->arena());
+        system->fabric().min_wire_latency(), &system->arena(),
+        &system->fabric());
   } else {
     engine_ptr = std::make_unique<Engine>(ecfg, system.get(), &result.stats);
   }

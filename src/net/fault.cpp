@@ -21,6 +21,30 @@ std::uint64_t pct_threshold(double pct) {
   return std::uint64_t(clamped * double(std::uint64_t(1) << 53) / 100.0);
 }
 
+// Fold node-pair outage schedules (--fault-link-down a:b@cycle+N) into
+// explicit (router, dir) LinkDown entries: the directed link leaving
+// node a's router toward adjacent node b. Requires a mesh/torus
+// backend, and the two nodes must be neighbors on it.
+FaultConfig resolve_node_link_downs(FaultConfig cfg, const Fabric* backend) {
+  if (cfg.node_link_downs.empty()) return cfg;
+  const auto* mesh = dynamic_cast<const MeshFabric*>(backend);
+  DSM_ASSERT(mesh != nullptr,
+             "node-pair link outages require a mesh/torus fabric");
+  for (const FaultConfig::NodeLinkDown& nd : cfg.node_link_downs) {
+    DSM_ASSERT(nd.a < mesh->nodes() && nd.b < mesh->nodes(),
+               "fault-link-down node out of range");
+    std::uint8_t dir = std::uint8_t(LinkDir::kCount);
+    for (std::uint8_t d = 0; d < std::uint8_t(LinkDir::kCount); ++d)
+      if (mesh->neighbor(nd.a, LinkDir(d)) == nd.b) dir = d;
+    DSM_ASSERT(dir != std::uint8_t(LinkDir::kCount),
+               "fault-link-down nodes are not mesh/torus neighbors");
+    cfg.link_downs.push_back(
+        FaultConfig::LinkDown{nd.a, dir, nd.down, nd.down + nd.len});
+  }
+  cfg.node_link_downs.clear();
+  return cfg;
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint32_t nodes,
@@ -83,7 +107,7 @@ FaultyFabric::FaultyFabric(std::unique_ptr<Fabric> inner,
                            const FaultConfig& cfg, Stats* stats)
     : Fabric(inner->nodes(), inner->timing(), stats),
       inner_(std::move(inner)),
-      plan_(cfg, inner_->nodes(),
+      plan_(resolve_node_link_downs(cfg, inner_.get()), inner_->nodes(),
             [&]() -> std::uint32_t {
               if (const auto* mesh =
                       dynamic_cast<const MeshFabric*>(inner_.get()))

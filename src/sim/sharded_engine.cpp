@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/fabric.hpp"
+
 namespace dsm {
 
 namespace {
@@ -26,9 +28,11 @@ struct TurnGuard {
 ShardedEngine::ShardedEngine(const SystemConfig& cfg, MemorySystem* mem,
                              Stats* stats, std::uint32_t shards,
                              Cycle lookahead,
-                             std::pmr::memory_resource* ring_mem)
+                             std::pmr::memory_resource* ring_mem,
+                             Fabric* fabric)
     : Engine(cfg, mem, stats),
       shards_(std::clamp<std::uint32_t>(shards, 1, cfg.nodes)),
+      overlap_(cfg.shard_overlap),
       lookahead_(lookahead) {
   switch (cfg.shard_threads) {
     case SystemConfig::ShardThreads::kInline: threaded_ = false; break;
@@ -47,6 +51,27 @@ ShardedEngine::ShardedEngine(const SystemConfig& cfg, MemorySystem* mem,
     shard_cpu_begin_[s] = std::min(shard_cpu_begin_[s], c);
     shard_cpu_end_[s] = std::max(shard_cpu_end_[s], c + 1);
   }
+  shard_node_begin_.assign(shards_, cfg.nodes);
+  shard_node_end_.assign(shards_, 0);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    const std::uint32_t s = shard_of_node(n);
+    shard_node_begin_[s] = std::min(shard_node_begin_[s], n);
+    shard_node_end_[s] = std::max<NodeId>(shard_node_end_[s], n + 1);
+  }
+
+  // Per-shard-pair lookahead: the topology backend reports the minimum
+  // unloaded wire latency between the two shards' node ranges (wider
+  // horizons for distant pairs on a mesh/torus); without a fabric the
+  // table is uniform at the carried global bound.
+  pair_lookahead_.assign(std::size_t(shards_) * shards_, lookahead_);
+  if (Fabric* backend = fabric != nullptr ? fabric->backend() : nullptr) {
+    for (std::uint32_t from = 0; from < shards_; ++from)
+      for (std::uint32_t to = 0; to < shards_; ++to)
+        if (from != to)
+          pair_lookahead_[from * shards_ + to] = backend->min_wire_latency(
+              shard_node_begin_[from], shard_node_end_[from],
+              shard_node_begin_[to], shard_node_end_[to]);
+  }
 
   // One ring per ordered shard pair. A blocked CPU has exactly one
   // pending waker, so `ncpus` slots can never overflow.
@@ -54,6 +79,9 @@ ShardedEngine::ShardedEngine(const SystemConfig& cfg, MemorySystem* mem,
   for (std::uint32_t i = 0; i < shards_ * shards_; ++i)
     mailboxes_.emplace_back(ncpus + 1, ring_mem);
   summaries_.assign(shards_, ShardSummary{});
+  sched_.assign(shards_, 0);
+  pub_clock_.assign(shards_, kNeverCycle);
+  go_ = std::make_unique<GoWord[]>(shards_);
 
   home_rng_.reserve(cfg.nodes);
   for (NodeId n = 0; n < cfg.nodes; ++n)
@@ -68,7 +96,23 @@ void ShardedEngine::wake(CpuId id, Cycle at) {
     return;
   }
   cross_wakes_++;
-  mailbox(t_turn.shard, target).push(WakeMsg{id, at});
+  // Stamp the envelope with its effective clock — exactly the clock the
+  // serial engine's immediately-applied wake would set. The target CPU
+  // is blocked and its only waker is posting right now, so its stored
+  // clock is stable until the target shard drains.
+  const Cycle effective = std::max(cpus_[id].clock, at);
+  mailbox(t_turn.shard, target).push(WakeMsg{id, at}, effective);
+  // Overlap schedule repair: a wake landing inside the current window
+  // at a later-indexed shard that was elided must run this window (the
+  // serial engine would run the woken CPU after the waker). The turn
+  // holder owns the schedule, so the flip is plain. Earlier-indexed
+  // targets defer to the next close, like the serial engine's own
+  // next-window rescheduling of an already-passed CPU.
+  if (overlap_ && target > t_turn.shard && effective < window_end_ &&
+      !sched_[target]) {
+    sched_[target] = 1;
+    dyn_activations_++;
+  }
 }
 
 void ShardedEngine::drain_mailboxes(std::uint32_t s) {
@@ -111,6 +155,18 @@ void ShardedEngine::publish_summary(std::uint32_t s) {
     }
   }
   summaries_[s] = sum;
+  pub_clock_[s] = sum.min_ready;
+}
+
+Cycle ShardedEngine::safe_horizon(std::uint32_t s) const {
+  Cycle h = kNeverCycle;
+  for (std::uint32_t t = 0; t < shards_; ++t) {
+    if (t == s) continue;
+    if (pub_clock_[t] != kNeverCycle)
+      h = std::min(h, pub_clock_[t] + pair_lookahead_[t * shards_ + s]);
+    h = std::min(h, mailboxes_[t * shards_ + s].min_stamp());
+  }
+  return h;
 }
 
 void ShardedEngine::advance_window() {
@@ -175,6 +231,115 @@ void ShardedEngine::worker_loop(std::uint32_t s) {
   }
 }
 
+// --- overlap mode ----------------------------------------------------------
+
+void ShardedEngine::stop_overlap() {
+  stop_.store(true, std::memory_order_release);
+  if (!threaded_) return;
+  for (std::uint32_t t = 0; t < shards_; ++t) {
+    go_[t].cmd.fetch_add(1, std::memory_order_release);
+    go_[t].cmd.notify_all();
+  }
+}
+
+void ShardedEngine::grant(std::uint32_t s) {
+  go_[s].cmd.fetch_add(1, std::memory_order_release);
+  go_[s].cmd.notify_one();
+}
+
+std::uint32_t ShardedEngine::first_scheduled() const {
+  for (std::uint32_t t = 0; t < shards_; ++t)
+    if (sched_[t]) return t;
+  return kNoShard;
+}
+
+bool ShardedEngine::close_window_overlap() {
+  // Next window start: the earliest ready clock any shard published,
+  // or the earliest effective clock stamped on an in-flight envelope —
+  // the same minimum advance_window() computes by walking the ring
+  // contents, read here from one scalar per ring.
+  Cycle m = kNeverCycle;
+  bool any_blocked = false;
+  for (const ShardSummary& sum : summaries_) {
+    m = std::min(m, sum.min_ready);
+    any_blocked |= sum.blocked != 0;
+  }
+  for (std::uint32_t from = 0; from < shards_; ++from)
+    for (std::uint32_t to = 0; to < shards_; ++to)
+      if (from != to) m = std::min(m, mailbox(from, to).min_stamp());
+  if (m == kNeverCycle) {
+    deadlock_ = any_blocked;
+    stop_overlap();
+    return false;
+  }
+  window_start_ = m;
+  window_end_ = m + quantum_;
+  windows_++;
+
+  // Schedule only the shards with a provable event inside the window:
+  // an own ready CPU, or an inbound envelope whose effective clock
+  // lands before the window end. Everyone else is elided — their next
+  // influence is at or past window_end_, so the serial engine would
+  // run none of their CPUs, and their undrained envelopes keep
+  // contributing stamps to every later close. Mid-window wakes into an
+  // elided later shard re-activate it in wake().
+  std::uint32_t active = 0;
+  for (std::uint32_t to = 0; to < shards_; ++to) {
+    bool a = summaries_[to].min_ready < window_end_;
+    for (std::uint32_t from = 0; !a && from < shards_; ++from)
+      a = from != to && mailbox(from, to).min_stamp() < window_end_;
+    sched_[to] = a ? 1 : 0;
+    active += a ? 1 : 0;
+  }
+  DSM_ASSERT(active > 0, "window with no schedulable shard");
+  elided_turns_ += shards_ - active;
+  if (active == 1) solo_windows_++;
+  return true;
+}
+
+std::uint32_t ShardedEngine::step_overlap_turn(std::uint32_t s) {
+  try {
+    drain_mailboxes(s);
+    run_shard_window(s);
+    publish_summary(s);
+    // Next scheduled shard of this window (including any the turn just
+    // activated through wake()); the last one closes the window.
+    for (std::uint32_t t = s + 1; t < shards_; ++t)
+      if (sched_[t]) return t;
+    if (!close_window_overlap()) return kNoShard;
+    return first_scheduled();
+  } catch (...) {
+    // First failure in turn order — the same body the serial engine
+    // would have rethrown from. Later turns never run.
+    error_ = std::current_exception();
+    stop_overlap();
+    return kNoShard;
+  }
+}
+
+void ShardedEngine::worker_loop_overlap(std::uint32_t s) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Park on our own go word until granted a turn (or stopped).
+    for (;;) {
+      const std::uint64_t cur = go_[s].cmd.load(std::memory_order_acquire);
+      if (cur != seen) {
+        seen = cur;
+        break;
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      go_[s].cmd.wait(cur, std::memory_order_acquire);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Run our turn; keep running inline while the schedule hands the
+    // turn straight back to us (solo windows), hand off otherwise.
+    std::uint32_t next = s;
+    while (next == s) next = step_overlap_turn(s);
+    if (next == kNoShard) return;
+    grant(next);
+  }
+}
+
 void ShardedEngine::run() {
   quantum_ = std::max<Cycle>(1, cfg_.quantum);
   turn_.store(0, std::memory_order_relaxed);
@@ -182,22 +347,39 @@ void ShardedEngine::run() {
   deadlock_ = false;
   error_ = nullptr;
   windows_ = 0;
+  elided_turns_ = solo_windows_ = dyn_activations_ = 0;
 
   // Seed the protocol: summaries from the spawned state, then the first
   // window start (stop_ fires straight away when nothing was spawned).
   for (std::uint32_t s = 0; s < shards_; ++s) publish_summary(s);
-  advance_window();
 
-  if (!stop_.load(std::memory_order_relaxed)) {
-    if (threaded_) {
-      std::vector<std::thread> workers;
-      workers.reserve(shards_);
-      for (std::uint32_t s = 0; s < shards_; ++s)
-        workers.emplace_back(&ShardedEngine::worker_loop, this, s);
-      for (std::thread& w : workers) w.join();
-    } else {
-      std::uint64_t t = 0;
-      while (!stop_.load(std::memory_order_relaxed)) step_turn(t++);
+  if (overlap_) {
+    if (close_window_overlap()) {
+      if (threaded_) {
+        std::vector<std::thread> workers;
+        workers.reserve(shards_);
+        for (std::uint32_t s = 0; s < shards_; ++s)
+          workers.emplace_back(&ShardedEngine::worker_loop_overlap, this, s);
+        grant(first_scheduled());
+        for (std::thread& w : workers) w.join();
+      } else {
+        std::uint32_t cur = first_scheduled();
+        while (cur != kNoShard) cur = step_overlap_turn(cur);
+      }
+    }
+  } else {
+    advance_window();
+    if (!stop_.load(std::memory_order_relaxed)) {
+      if (threaded_) {
+        std::vector<std::thread> workers;
+        workers.reserve(shards_);
+        for (std::uint32_t s = 0; s < shards_; ++s)
+          workers.emplace_back(&ShardedEngine::worker_loop, this, s);
+        for (std::thread& w : workers) w.join();
+      } else {
+        std::uint64_t t = 0;
+        while (!stop_.load(std::memory_order_relaxed)) step_turn(t++);
+      }
     }
   }
 

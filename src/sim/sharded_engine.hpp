@@ -44,16 +44,60 @@
 // MemorySystem::access() happens at the same simulated time with the
 // same interleaving, and all bytes, cycles and decisions match the
 // serial engine exactly (the parity sweep pins this at shards 1/2/4).
-// The flip side: shard turns do not yet overlap in simulated time.
-// `lookahead` (the fabric's min unloaded wire latency) is the bound a
-// future overlapping relaxation would have to respect; it is carried
-// and reported here so the conservative-window math is in one place,
-// but the baton — not the lookahead — is what orders turns today.
+//
+// Overlapping windows (SystemConfig::shard_overlap). The baton visits
+// every shard every window, even shards that provably cannot act. The
+// overlap mode replaces the blind ring with a conservative-lookahead
+// schedule built at each window close from exact horizon information:
+//
+//   * every shard publishes its clock (min ready CPU clock) with its
+//     summary, and every in-flight cross-shard wake envelope is
+//     stamped with its effective clock (max(blocked CPU clock, wake
+//     time)) at post time, so the closing shard bounds all pending
+//     influence from one scalar per mailbox ring;
+//   * a shard is scheduled for window [w, w + quantum) only when its
+//     next event — published clock or an inbound envelope stamp — is
+//     provably inside the window; all other shards' turns are elided:
+//     their next event is at or past the window end, so the serial
+//     engine would have run none of their CPUs (their drains defer,
+//     which is safe because an undrained envelope keeps contributing
+//     its stamp to every later close);
+//   * a wake posted mid-window to a later-indexed elided shard whose
+//     effective clock lands inside the window activates that shard on
+//     the spot (the poster owns the schedule while it holds the turn),
+//     so elision never loses a serial-order execution;
+//   * turns hand off through per-shard go words (futex-style
+//     wait/notify_one on one atomic per shard) instead of the single
+//     turn counter: only the next scheduled shard is woken, and a
+//     shard that schedules itself next (a solo window — common during
+//     barrier convergence and lock convoys) keeps running inline with
+//     no futex round-trip at all.
+//
+// The scheduled turns still execute one at a time in shard index
+// order — a single turn holder is what lets every shard reach the
+// whole MemorySystem on its CPUs' behalf — so the executed window
+// sequence, the per-window CPU order, and therefore every byte, cycle
+// and decision are identical to the baton ring and the serial engine.
+// What overlap buys is the scheduling overhead: elided turns cost
+// nothing, and the futex fan-out per window drops from S wakeups on
+// every store (notify_all on the shared counter) to exactly one
+// directed wakeup per executed turn. The per-shard-pair lookahead
+// table (Fabric::min_wire_latency over the shard node ranges) widens
+// the published safe horizon,
+//   horizon(s) = min over t != s of published_clock(t) + lookahead(t,s)
+//                and every pending envelope stamp into s,
+// which the introspection surface reports; scheduling itself uses the
+// exact envelope stamps, which are never earlier than the lookahead
+// bound admits for fabric-borne effects (sync wakes carry explicit
+// cost floors instead of wire latency, which is why the schedule
+// trusts stamps, not the wire bound alone). A future home-partitioned
+// engine that runs shards truly concurrently would promote this same
+// table to its correctness bound (ROADMAP direction 1).
 //
 // Drive modes (SystemConfig::ShardThreads): kThreaded parks one worker
-// thread per shard on the atomic turn counter (what multi-core hosts
-// and the TSan job use — every cross-thread handoff is a release/
-// acquire edge on that counter, so the run is data-race-free by
+// thread per shard — on the atomic turn counter in baton mode, on its
+// own go word in overlap mode (every cross-thread handoff is a
+// release/acquire edge, so both protocols are data-race-free by
 // construction); kInline steps the same turn sequence on the calling
 // thread (single-core hosts, the parity sweep); kAuto picks by
 // hardware concurrency.
@@ -61,6 +105,7 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <memory_resource>
 #include <thread>
 #include <vector>
@@ -71,15 +116,24 @@
 
 namespace dsm {
 
+class Fabric;
+
 class ShardedEngine final : public Engine {
  public:
+  static constexpr std::uint32_t kNoShard = ~std::uint32_t(0);
+
   // `lookahead` is the fabric's minimum unloaded wire latency (see
-  // Fabric::min_wire_latency); diagnostic for now (header note).
-  // `mem` backs the mailbox rings (the run arena, or the heap).
+  // Fabric::min_wire_latency): the global conservative bound, and the
+  // uniform per-pair lookahead when no `fabric` is supplied. When
+  // `fabric` is given, the per-shard-pair table is computed from the
+  // topology backend's range overload (distant shard pairs on a
+  // mesh/torus publish a wider safe horizon). `ring_mem` backs the
+  // mailbox rings (the run arena, or the heap).
   ShardedEngine(const SystemConfig& cfg, MemorySystem* mem, Stats* stats,
                 std::uint32_t shards, Cycle lookahead,
                 std::pmr::memory_resource* ring_mem =
-                    std::pmr::get_default_resource());
+                    std::pmr::get_default_resource(),
+                Fabric* fabric = nullptr);
 
   void run() override;
   void wake(CpuId id, Cycle at) override;
@@ -91,9 +145,28 @@ class ShardedEngine final : public Engine {
     return n * shards_ / cfg_.nodes;
   }
   bool threaded() const { return threaded_; }
+  bool overlap() const { return overlap_; }
   Cycle lookahead() const { return lookahead_; }
+  // Per-shard-pair conservative lookahead (uniform `lookahead` without
+  // a fabric; hop-distance-aware on a mesh/torus).
+  Cycle pair_lookahead(std::uint32_t from, std::uint32_t to) const {
+    return pair_lookahead_[from * shards_ + to];
+  }
+  // Last published next-own-event clock of a shard (kNeverCycle when
+  // all its CPUs are blocked or done).
+  Cycle published_clock(std::uint32_t s) const { return pub_clock_[s]; }
+  // Conservative safe horizon of shard s: no other shard can affect s
+  // before this time — min over t != s of published_clock(t) +
+  // pair_lookahead(t, s), further clamped by every pending wake
+  // envelope stamp into s. Valid between turns (introspection and the
+  // window-closing shard's vantage point).
+  Cycle safe_horizon(std::uint32_t s) const;
   std::uint64_t windows() const { return windows_; }
   std::uint64_t cross_shard_wakes() const { return cross_wakes_; }
+  // Overlap-mode schedule counters (always zero in baton mode).
+  std::uint64_t elided_turns() const { return elided_turns_; }
+  std::uint64_t solo_windows() const { return solo_windows_; }
+  std::uint64_t dynamic_activations() const { return dyn_activations_; }
 
   // Deterministic per-home RNG stream: derived from (seed, home) via
   // the splitmix mix, so the sequence a home draws is identical in the
@@ -104,6 +177,13 @@ class ShardedEngine final : public Engine {
   struct WakeMsg {
     CpuId cpu = 0;
     Cycle at = 0;
+  };
+  // Overlap mode: one futex-style hand-off word per shard. The holder
+  // of the current turn bumps the next scheduled shard's word
+  // (release) and notifies it; each worker waits only on its own word,
+  // so a turn hand-off wakes exactly one thread.
+  struct alignas(64) GoWord {
+    std::atomic<std::uint64_t> cmd{0};
   };
   // Published at the end of a shard's turn, read by the window-closing
   // shard. Padded: summaries are written by different threads in the
@@ -130,29 +210,60 @@ class ShardedEngine final : public Engine {
   void advance_window();
   void worker_loop(std::uint32_t s);
 
+  // --- overlap mode --------------------------------------------------------
+  // One scheduled turn of shard s: drain, run, publish, then either
+  // the next scheduled shard of this window, the first shard of the
+  // next window (after closing), or kNoShard once the run is over.
+  std::uint32_t step_overlap_turn(std::uint32_t s);
+  // Close the current window from the published summaries and the
+  // per-ring envelope stamps; build the next window's schedule.
+  // Returns false (after stopping the run) on completion/deadlock.
+  bool close_window_overlap();
+  std::uint32_t first_scheduled() const;
+  void grant(std::uint32_t s);  // hand the turn to shard s's worker
+  void stop_overlap();          // stop the run and wake every worker
+  void worker_loop_overlap(std::uint32_t s);
+
   std::uint32_t shards_;
   bool threaded_;
+  bool overlap_;
   Cycle lookahead_;
   Cycle quantum_ = 1;
 
   std::vector<std::uint32_t> cpu_shard_;        // CpuId -> shard
   std::vector<std::uint32_t> shard_cpu_begin_;  // shard -> first CpuId
   std::vector<std::uint32_t> shard_cpu_end_;    // shard -> past-last CpuId
+  std::vector<NodeId> shard_node_begin_;        // shard -> first node
+  std::vector<NodeId> shard_node_end_;          // shard -> past-last node
   std::vector<SpscQueue<WakeMsg>> mailboxes_;   // [from * shards_ + to]
   std::vector<ShardSummary> summaries_;
   std::vector<Rng> home_rng_;  // per node, stream = (seed, node)
+  std::vector<Cycle> pair_lookahead_;  // [from * shards_ + to]
 
   // Baton: turn t belongs to shard (t mod S); the store is the release
   // edge every cross-thread handoff synchronizes on.
   alignas(64) std::atomic<std::uint64_t> turn_{0};
   std::atomic<bool> stop_{false};
+  // Overlap hand-off words, one per shard (heap array: GoWord is
+  // neither copyable nor movable).
+  std::unique_ptr<GoWord[]> go_;
   // Written by the window-closing shard before it releases the baton.
   Cycle window_start_ = 0;
+  Cycle window_end_ = 0;
+  // Overlap-mode turn-shared state: the current window's schedule
+  // (written by the closing shard, plus mid-window activations by the
+  // turn holder) and the per-shard published clocks. Plain fields —
+  // every access is chained through the go-word release/acquire edges.
+  std::vector<std::uint8_t> sched_;
+  std::vector<Cycle> pub_clock_;
   bool deadlock_ = false;
-  std::exception_ptr error_;  // first body failure, in baton order
+  std::exception_ptr error_;  // first body failure, in turn order
 
   std::uint64_t windows_ = 0;
   std::uint64_t cross_wakes_ = 0;
+  std::uint64_t elided_turns_ = 0;
+  std::uint64_t solo_windows_ = 0;
+  std::uint64_t dyn_activations_ = 0;
 };
 
 }  // namespace dsm

@@ -222,6 +222,25 @@ TEST(MeshReroute, DetoursAroundADeadLinkAndCountsIt) {
   EXPECT_EQ(stats.faults.reroutes, before);
 }
 
+TEST(MeshReroute, NodePairOutageResolvesToTheDirectedLink) {
+  // --fault-link-down 0:1@1000+8000 names the outage by node pair; the
+  // fault layer resolves it to the directed (router, dir) link at
+  // construction. 0 -> 1 on a 4x4 grid is router 0's east link, so this
+  // must behave exactly like the explicit kEast schedule above.
+  SystemConfig cfg = mesh_cfg(16);
+  cfg.faults.node_link_downs.push_back({0, 1, 1000, 8000});
+  ASSERT_TRUE(cfg.faults.enabled());  // schedule alone enables the layer
+  Stats stats(16);
+  auto net = make_fabric(cfg, &stats);
+  ASSERT_TRUE(net->fault_injection());
+  const Message m = Message::control(MsgKind::kGetS, 0, 3, 0);
+  (void)net->send_ex(m, 100);  // before the outage: straight X-Y
+  EXPECT_EQ(stats.faults.reroutes, 0u);
+  (void)net->send_ex(m, 2000);  // inside it: detour
+  EXPECT_GT(stats.faults.reroutes, 0u);
+  (void)net->send_ex(m, 20000);  // after down+len: link restored
+}
+
 TEST(MeshReroute, OutageWindowIsTemporal) {
   SystemConfig cfg = mesh_cfg(16);
   cfg.faults.link_downs.push_back(
@@ -362,7 +381,8 @@ ChaosResult run_chaos(const RunSpec& spec) {
   if (spec.system.shards > 0) {
     engine_ptr = std::make_unique<ShardedEngine>(
         spec.system, system.get(), &stats, spec.system.shards,
-        system->fabric().min_wire_latency(), &system->arena());
+        system->fabric().min_wire_latency(), &system->arena(),
+        &system->fabric());
   } else {
     engine_ptr = std::make_unique<Engine>(spec.system, system.get(), &stats);
   }
@@ -425,6 +445,24 @@ TEST(ChaosSoak, SurvivesEscalatingRatesSerialAndSharded) {
     last_drops = serial.faults.drops_injected;
   }
   EXPECT_GT(last_drops, 0u);
+}
+
+TEST(ChaosSoak, OverlapWindowsReplayTheExactFaultLedger) {
+  // The overlapping-window schedule elides turns and hands the baton
+  // directly between shards, but every fault draw keys off per-source
+  // streams whose order is engine-invariant — so serial, baton-sharded
+  // and overlap-sharded runs must land on the same recovered state and
+  // the same fault counters. Threaded drive crosses real go-word
+  // handoffs (and, under the TSan CI leg, the race detector).
+  for (const double rate : {2.0, 10.0}) {
+    const ChaosResult serial = run_chaos(chaos_spec(rate, 0));
+    RunSpec overlap = chaos_spec(rate, 4);
+    overlap.system.shard_overlap = true;
+    overlap.system.shard_threads = SystemConfig::ShardThreads::kThreaded;
+    const ChaosResult sharded = run_chaos(overlap);
+    EXPECT_TRUE(serial == sharded) << "rate " << rate;
+    EXPECT_GT(serial.faults.drops_injected, 0u);
+  }
 }
 
 TEST(ChaosSoak, FixedSeedIsBitReproducible) {

@@ -12,6 +12,9 @@
 // them with a before/after pair of runs and say so in the commit.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "harness/runner.hpp"
 
 namespace dsm {
@@ -99,15 +102,20 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, PolicyParity, ::testing::ValuesIn(kGolden),
 // ---------------------------------------------------------------------------
 // Sharded-engine bit-identity sweep: the same goldens must hold, byte-
 // and cycle-exact, when the run is driven by the home-sharded engine at
-// every shard count — the engine's claim is that sharding changes only
-// host-side execution, never the simulation. Inline drive mode keeps
-// the sweep fast on single-core CI runners; the TSan job re-runs the
-// suite threaded via DSM_SHARDS/DSM_SHARD_THREADS.
+// every shard count, with and without the overlapping-window schedule —
+// the engine's claim is that sharding changes only host-side execution,
+// never the simulation. Inline drive mode keeps the sweep fast on
+// single-core CI runners; the TSan job re-runs it threaded by exporting
+// DSM_SHARD_THREADS=threads (honored below).
 // ---------------------------------------------------------------------------
 
 struct ShardedGolden {
   Golden g;
   std::uint32_t shards;
+  // Conservative-lookahead overlapping windows: the relaxed schedule
+  // must reproduce the same goldens bit-for-bit. Overlap rows run
+  // inline here and threaded under the TSan leg (DSM_SHARD_THREADS).
+  bool overlap;
 };
 
 class ShardedParity : public ::testing::TestWithParam<ShardedGolden> {};
@@ -116,7 +124,11 @@ TEST_P(ShardedParity, MatchesSerialEngineExactly) {
   const Golden& g = GetParam().g;
   RunSpec spec = paper_spec(g.kind, g.app, Scale::kDefault);
   spec.system.shards = GetParam().shards;
+  spec.system.shard_overlap = GetParam().overlap;
   spec.system.shard_threads = SystemConfig::ShardThreads::kInline;
+  if (const char* s = std::getenv("DSM_SHARD_THREADS"))
+    if (std::strcmp(s, "threads") == 0)
+      spec.system.shard_threads = SystemConfig::ShardThreads::kThreaded;
   const RunResult r = run_one(spec);
   const TrafficBreakdown t = r.stats.traffic_total();
   EXPECT_EQ(t.bytes_of(TrafficClass::kData), g.data_bytes);
@@ -131,7 +143,8 @@ TEST_P(ShardedParity, MatchesSerialEngineExactly) {
 std::vector<ShardedGolden> sharded_goldens() {
   std::vector<ShardedGolden> v;
   for (const Golden& g : kGolden)
-    for (std::uint32_t s : {1u, 2u, 4u}) v.push_back({g, s});
+    for (std::uint32_t s : {1u, 2u, 4u})
+      for (bool overlap : {false, true}) v.push_back({g, s, overlap});
   return v;
 }
 
@@ -139,7 +152,8 @@ std::string sharded_param_name(
     const ::testing::TestParamInfo<ShardedGolden>& info) {
   std::string s = std::string(to_string(info.param.g.kind)) + "_" +
                   info.param.g.app + "_s" +
-                  std::to_string(info.param.shards);
+                  std::to_string(info.param.shards) +
+                  (info.param.overlap ? "_overlap" : "");
   for (char& c : s)
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   return s;

@@ -188,12 +188,15 @@ struct StressRun {
   std::vector<RecordingMemory::Rec> log;
   Cycle finish = 0;
   std::uint64_t cross_wakes = 0;
+  std::uint64_t elided = 0;
+  std::uint64_t dyn_activations = 0;
 };
 
 StressRun run_stress(std::uint64_t seed, std::uint32_t shards,
-                     SystemConfig::ShardThreads mode) {
+                     SystemConfig::ShardThreads mode, bool overlap = false) {
   SystemConfig cfg = stress_cfg(seed);
   cfg.shard_threads = mode;
+  cfg.shard_overlap = overlap;
   RecordingMemory mem;
   Stats stats(cfg.nodes);
   std::unique_ptr<Engine> eng;
@@ -212,8 +215,13 @@ StressRun run_stress(std::uint64_t seed, std::uint32_t shards,
   for (CpuId t = 0; t < cfg.total_cpus(); ++t)
     eng->spawn(t, stress_body(eng->cpu(t), lk, bar, flag, seed));
   eng->run();
-  return {std::move(mem.log), eng->finish_time(),
-          sharded ? sharded->cross_shard_wakes() : 0};
+  StressRun r{std::move(mem.log), eng->finish_time()};
+  if (sharded) {
+    r.cross_wakes = sharded->cross_shard_wakes();
+    r.elided = sharded->elided_turns();
+    r.dyn_activations = sharded->dynamic_activations();
+  }
+  return r;
 }
 
 class ShardedStress : public ::testing::TestWithParam<std::uint64_t> {};
@@ -240,6 +248,48 @@ TEST_P(ShardedStress, ThreadedDeliveryOrderMatchesSerial) {
   for (std::uint32_t shards : {2u, 4u}) {
     const StressRun sh =
         run_stress(seed, shards, SystemConfig::ShardThreads::kThreaded);
+    EXPECT_EQ(sh.finish, serial.finish) << "shards=" << shards;
+    ASSERT_EQ(sh.log.size(), serial.log.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < serial.log.size(); ++i)
+      ASSERT_EQ(sh.log[i], serial.log[i])
+          << "first divergence at access " << i << ", shards=" << shards;
+  }
+}
+
+// Overlap mode relaxes the baton ring into an active-set schedule:
+// shards whose next event provably falls outside the window are elided
+// and wakes posted into the live window re-activate their target on
+// the spot. Under the adversarial-latency memory the entire access
+// log — order included — must still match the serial engine exactly.
+TEST_P(ShardedStress, OverlapInlineDeliveryOrderMatchesSerial) {
+  const std::uint64_t seed = GetParam();
+  const StressRun serial =
+      run_stress(seed, 0, SystemConfig::ShardThreads::kAuto);
+  ASSERT_FALSE(serial.log.empty());
+  std::uint64_t elided = 0;
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    const StressRun sh = run_stress(
+        seed, shards, SystemConfig::ShardThreads::kInline, /*overlap=*/true);
+    EXPECT_EQ(sh.finish, serial.finish) << "shards=" << shards;
+    ASSERT_EQ(sh.log.size(), serial.log.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < serial.log.size(); ++i)
+      ASSERT_EQ(sh.log[i], serial.log[i])
+          << "first divergence at access " << i << ", shards=" << shards;
+    elided += sh.elided;
+  }
+  // The schedule must actually be doing something: across the shard
+  // counts some turns are provably idle and get elided.
+  EXPECT_GT(elided, 0u) << "overlap mode never skipped a turn";
+}
+
+TEST_P(ShardedStress, OverlapThreadedDeliveryOrderMatchesSerial) {
+  const std::uint64_t seed = GetParam();
+  const StressRun serial =
+      run_stress(seed, 0, SystemConfig::ShardThreads::kAuto);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const StressRun sh =
+        run_stress(seed, shards, SystemConfig::ShardThreads::kThreaded,
+                   /*overlap=*/true);
     EXPECT_EQ(sh.finish, serial.finish) << "shards=" << shards;
     ASSERT_EQ(sh.log.size(), serial.log.size()) << "shards=" << shards;
     for (std::size_t i = 0; i < serial.log.size(); ++i)
