@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "harness/parallel.hpp"
 #include "harness/runner.hpp"
+#include "net/message.hpp"
 
 namespace dsm::bench {
 
@@ -53,8 +54,15 @@ struct Options {
   // --fault-dup-pct P, --fault-delay-pct P, --fault-delay-cycles C,
   // --fault-link-downs K, --fault-retry-base C, --fault-retry-max A
   // shape the plan; --fault-link-down a:b@cycle+N schedules an explicit
-  // node-pair outage and works without a seed). Faults off (the
-  // default) is bit-identical to a build without the fault layer.
+  // node-pair outage and works without a seed). Whole-node crashes:
+  // --fault-node-down n@cycle[+N] schedules node n to crash at `cycle`
+  // for N cycles (omitting +N makes the crash permanent) and works
+  // without a seed; --fault-node-downs K draws K seeded crash windows.
+  // --fault-kinds data,ack,... restricts seeded perturbations to the
+  // listed message kinds (draws are still consumed for every kind, so
+  // narrowing the mask never shifts the surviving kinds' outcomes).
+  // Faults off (the default) is bit-identical to a build without the
+  // fault layer.
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
   double fault_drop_pct = 1.0;
@@ -63,6 +71,9 @@ struct Options {
   Cycle fault_delay_cycles = 0;  // 0 = keep FaultConfig default
   std::uint32_t fault_link_downs = 0;
   std::vector<FaultConfig::NodeLinkDown> fault_node_link_downs;
+  std::uint32_t fault_rand_node_downs = 0;
+  std::vector<FaultConfig::NodeDown> fault_node_downs;
+  std::uint32_t fault_kinds = ~0u;  // bit per MsgKind; default = all
   Cycle fault_retry_base = 0;      // 0 = keep TimingConfig default
   std::uint32_t fault_retry_max = 0;  // 0 = keep TimingConfig default
   // Machine shape (--nodes N, --cpus-per-node N; 0 keeps the
@@ -96,11 +107,15 @@ struct Options {
       sc.faults.delay_pct = fault_delay_pct;
       if (fault_delay_cycles != 0) sc.faults.delay_cycles = fault_delay_cycles;
       sc.faults.rand_link_downs = fault_link_downs;
+      sc.faults.rand_node_downs = fault_rand_node_downs;
     }
-    // Explicit node-pair outages are a deterministic schedule, not a
-    // seeded draw — they enable the fault layer on their own.
+    // Explicit node-pair outages and node crashes are deterministic
+    // schedules, not seeded draws — they enable the fault layer on
+    // their own.
     if (!fault_node_link_downs.empty())
       sc.faults.node_link_downs = fault_node_link_downs;
+    if (!fault_node_downs.empty()) sc.faults.node_downs = fault_node_downs;
+    sc.faults.fault_kinds = fault_kinds;
     if (fault_retry_base != 0) sc.timing.fault_retry_base = fault_retry_base;
     if (fault_retry_max != 0)
       sc.timing.fault_retry_max_attempts = fault_retry_max;
@@ -218,6 +233,13 @@ class SystemFlagParser {
     } else if (std::strcmp(flag, "--fault-link-downs") == 0) {
       o_->fault_link_downs = std::uint32_t(
           parse_uint(flag, arg, 0, 1u << 16, "an outage count"));
+    } else if (std::strcmp(flag, "--fault-node-down") == 0) {
+      o_->fault_node_downs.push_back(parse_node_down(flag, arg));
+    } else if (std::strcmp(flag, "--fault-node-downs") == 0) {
+      o_->fault_rand_node_downs = std::uint32_t(
+          parse_uint(flag, arg, 0, 1u << 16, "a crash count"));
+    } else if (std::strcmp(flag, "--fault-kinds") == 0) {
+      o_->fault_kinds = parse_kinds(flag, arg);
     } else if (std::strcmp(flag, "--fault-retry-base") == 0) {
       o_->fault_retry_base = Cycle(
           parse_uint(flag, arg, 1, ~std::uint64_t(0), "cycles > 0"));
@@ -275,6 +297,60 @@ class SystemFlagParser {
     if (p == q || *p != '\0' || nd.len == 0 || nd.a == nd.b)
       die(flag, arg, "a:b@cycle+N");
     return nd;
+  }
+
+  // --fault-node-down n@cycle[+N] — node n crashes at `cycle`; with +N
+  // it recovers N cycles later, without it the crash is permanent.
+  static FaultConfig::NodeDown parse_node_down(const char* flag,
+                                               const char* arg) {
+    FaultConfig::NodeDown nd;
+    char* p = nullptr;
+    nd.node = std::uint32_t(std::strtoul(arg, &p, 10));
+    if (p == arg || *p != '@') die(flag, arg, "n@cycle[+N]");
+    const char* q = p + 1;
+    nd.down = Cycle(std::strtoull(q, &p, 10));
+    if (p == q) die(flag, arg, "n@cycle[+N]");
+    if (*p == '+') {
+      q = p + 1;
+      const Cycle len = Cycle(std::strtoull(q, &p, 10));
+      if (p == q || *p != '\0' || len == 0) die(flag, arg, "n@cycle[+N]");
+      nd.up = nd.down + len;
+    } else if (*p != '\0') {
+      die(flag, arg, "n@cycle[+N]");
+    }
+    return nd;
+  }
+
+  // --fault-kinds data,ack,... — comma-separated message-kind names;
+  // seeded perturbations apply only to the listed kinds.
+  static std::uint32_t parse_kinds(const char* flag, const char* arg) {
+    static constexpr const char* kNames[] = {
+        "gets", "getx", "upgrade", "inval",   "ack",    "data",
+        "writeback", "hint", "pagebulk", "nack", "rebuild"};
+    static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                  std::size_t(MsgKind::kCount));
+    std::uint32_t mask = 0;
+    const std::string list = arg;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string name = list.substr(pos, comma - pos);
+      bool hit = false;
+      for (std::size_t k = 0; k < std::size_t(MsgKind::kCount); ++k) {
+        if (name == kNames[k]) {
+          mask |= 1u << k;
+          hit = true;
+          break;
+        }
+      }
+      if (!hit)
+        die(flag, arg,
+            "a comma list of gets|getx|upgrade|inval|ack|data|writeback|"
+            "hint|pagebulk|nack|rebuild");
+      pos = comma + 1;
+    }
+    return mask;
   }
 
   Options* o_;
@@ -388,14 +464,17 @@ inline ResultColumn column_of(const std::string& name,
 }
 
 // Table-4-style per-node interconnect traffic cell:
-// data / coherence-control / page-op kilobytes.
+// data / coherence-control / page-op / recovery kilobytes (recovery =
+// retransmissions, NACKs, and directory-rebuild census traffic; always
+// 0 with the fault layer off).
 inline std::string traffic_cell(const RunResult& r) {
   char buf[96];
   std::snprintf(
-      buf, sizeof buf, "%.0f/%.0f/%.0f",
+      buf, sizeof buf, "%.0f/%.0f/%.0f/%.0f",
       r.stats.traffic_bytes_per_node(TrafficClass::kData) / 1024.0,
       r.stats.traffic_bytes_per_node(TrafficClass::kControl) / 1024.0,
-      r.stats.traffic_bytes_per_node(TrafficClass::kPageOp) / 1024.0);
+      r.stats.traffic_bytes_per_node(TrafficClass::kPageOp) / 1024.0,
+      r.stats.traffic_bytes_per_node(TrafficClass::kRecovery) / 1024.0);
   return buf;
 }
 
@@ -411,7 +490,8 @@ inline void print_traffic_table(const std::vector<std::string>& apps,
     for (const auto& c : columns) row.cell(traffic_cell(*c.rows.at(a)));
   }
   std::printf(
-      "per-node interconnect traffic, data/control/page-op KB:\n%s\n",
+      "per-node interconnect traffic, data/control/page-op/recovery "
+      "KB:\n%s\n",
       t.to_string().c_str());
 }
 
@@ -478,7 +558,8 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           "%s  {\"bench\": \"%s\", \"app\": \"%s\", \"system\": \"%s\",\n"
           "   \"fabric\": \"%s\", \"policy\": \"%s\", \"cycles\": %llu,\n"
           "   \"data_bytes_per_node\": %.1f, \"control_bytes_per_node\": "
-          "%.1f, \"pageop_bytes_per_node\": %.1f,\n"
+          "%.1f, \"pageop_bytes_per_node\": %.1f, "
+          "\"recovery_bytes_per_node\": %.1f,\n"
           "   \"migrations\": %llu, \"replications\": %llu, "
           "\"relocations\": %llu,\n"
           "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u,\n"
@@ -486,9 +567,11 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           "\"delays_injected\": %llu,\n"
           "   \"retries\": %llu, \"nacks\": %llu, \"reroutes\": %llu, "
           "\"aborted_page_ops\": %llu, \"hard_errors\": %llu,\n"
+          "   \"crash_drops\": %llu, \"rehomes\": %llu, "
+          "\"dir_rebuilds\": %llu, \"data_losses\": %llu,\n"
           "   \"fault_drop_pct\": %.3f, \"fault_dup_pct\": %.3f, "
           "\"fault_delay_pct\": %.3f, \"fault_delay_cycles\": %llu, "
-          "\"fault_link_downs\": %zu,\n"
+          "\"fault_link_downs\": %zu, \"fault_node_downs\": %zu,\n"
           "   \"sim_refs\": %llu, \"wall_seconds\": %.4f, "
           "\"events_per_sec\": %.0f, \"jobs\": %u}",
           first ? "" : ",\n", bench, apps[a].c_str(), c.name.c_str(),
@@ -497,6 +580,7 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           r.stats.traffic_bytes_per_node(TrafficClass::kData),
           r.stats.traffic_bytes_per_node(TrafficClass::kControl),
           r.stats.traffic_bytes_per_node(TrafficClass::kPageOp),
+          r.stats.traffic_bytes_per_node(TrafficClass::kRecovery),
           static_cast<unsigned long long>(r.stats.page_migrations_total()),
           static_cast<unsigned long long>(r.stats.page_replications_total()),
           static_cast<unsigned long long>(r.stats.page_relocations_total()),
@@ -510,12 +594,18 @@ inline void write_traffic_json(const std::string& path, const char* bench,
           static_cast<unsigned long long>(r.stats.faults.reroutes),
           static_cast<unsigned long long>(r.stats.faults.aborted_page_ops),
           static_cast<unsigned long long>(r.stats.faults.hard_errors),
+          static_cast<unsigned long long>(r.stats.faults.crash_drops),
+          static_cast<unsigned long long>(r.stats.faults.rehomes),
+          static_cast<unsigned long long>(r.stats.faults.dir_rebuilds),
+          static_cast<unsigned long long>(r.stats.faults.data_losses),
           r.spec.system.faults.drop_pct, r.spec.system.faults.dup_pct,
           r.spec.system.faults.delay_pct,
           static_cast<unsigned long long>(r.spec.system.faults.delay_cycles),
           r.spec.system.faults.link_downs.size() +
               r.spec.system.faults.node_link_downs.size() +
               r.spec.system.faults.rand_link_downs,
+          r.spec.system.faults.node_downs.size() +
+              r.spec.system.faults.rand_node_downs,
           static_cast<unsigned long long>(r.sim_refs()), r.wall_seconds,
           r.events_per_sec(), jobs);
       first = false;

@@ -1,0 +1,334 @@
+// Chaos-at-scale sweep: node crashes + link outages across 8 -> 256
+// node routed fabrics.
+//
+// A fixed synthetic sharing pattern (pages homed round-robin, small
+// region-spread reader groups, home writes forcing invalidation rounds)
+// runs under four fault scenarios per (nodes, fabric) cell:
+//
+//   clean     fault layer off — the bit-identical baseline;
+//   outages   seeded drop/dup/delay perturbations plus random link
+//             outages (PR 7's chaos model);
+//   crashes   two deterministic whole-node crash windows placed over
+//             the workload's middle phase: requesters time out against
+//             the dead homes, elect successors, and rebuild the
+//             directory from the survivor census;
+//   chaos     crashes and outages composed.
+//
+// The workload deliberately leaves dirty exclusive copies on a node
+// that later crashes (the one irrecoverable outcome — counted as
+// data_losses, never hidden), drives accesses *into* the crash windows
+// (time is advanced explicitly so the windows cannot be missed at any
+// machine size), and re-touches the re-homed pages after recovery so
+// check_coherence() sees the post-rebuild directory.
+//
+// Flags (bench_common SystemFlagParser): --nodes/--fabric pin one axis
+// value; --fault-kinds etc. shape the seeded scenarios; --json FILE
+// emits one record per cell for CI archival.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "protocols/system_factory.hpp"
+
+using namespace dsm;
+using namespace dsm::bench;
+
+namespace {
+
+constexpr Addr kHeapBase = 0x100000;
+constexpr unsigned kPagesPerHome = 2;
+constexpr unsigned kSharerPattern[] = {1, 2, 4, 7};
+
+// Crash windows: node crash_a is down for the whole window, crash_b
+// for its middle half. The workload jumps its clock into and past the
+// window explicitly, so it lands on the middle phase at every machine
+// size (run_cell checks the warmup never reaches it).
+constexpr Cycle kWindowDown = Cycle(32) << 20;
+constexpr Cycle kWindowUp = Cycle(64) << 20;
+
+enum class Scenario { kClean = 0, kOutages, kCrashes, kChaos, kCount };
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kClean: return "clean";
+    case Scenario::kOutages: return "outages";
+    case Scenario::kCrashes: return "crashes";
+    case Scenario::kChaos: return "chaos";
+    default: return "?";
+  }
+}
+
+bool has_crashes(Scenario s) {
+  return s == Scenario::kCrashes || s == Scenario::kChaos;
+}
+bool has_outages(Scenario s) {
+  return s == Scenario::kOutages || s == Scenario::kChaos;
+}
+
+NodeId crash_a(std::uint32_t nodes) { return NodeId(1 % nodes); }
+NodeId crash_b(std::uint32_t nodes) { return NodeId(nodes - 2); }
+
+struct CellResult {
+  std::uint32_t nodes = 0;
+  FabricKind fabric = FabricKind::kNiConstant;
+  Scenario scenario = Scenario::kClean;
+  Stats stats;
+  Cycle cycles = 0;
+  double wall_seconds = 0;
+
+  explicit CellResult(std::uint32_t n) : stats(n) {}
+};
+
+Addr page_addr(unsigned p) { return kHeapBase + Addr(p) * kPageBytes; }
+
+std::vector<NodeId> readers_of(unsigned p, std::uint32_t nodes, NodeId home) {
+  const unsigned want = std::min<unsigned>(kSharerPattern[p % 4], nodes - 1);
+  const std::uint32_t stride = std::max<std::uint32_t>(1, nodes / 16);
+  std::vector<NodeId> out;
+  for (std::uint32_t k = 0; out.size() < want; ++k) {
+    const NodeId n = NodeId((home + 1 + k * stride) % nodes);
+    if (n != home && std::find(out.begin(), out.end(), n) == out.end())
+      out.push_back(n);
+  }
+  return out;
+}
+
+CellResult run_cell(const Options& opt, std::uint32_t nodes,
+                    FabricKind fabric, Scenario sc) {
+  SystemConfig cfg = SystemConfig::base(SystemKind::kCcNuma);
+  opt.apply(cfg);
+  cfg.nodes = nodes;
+  cfg.cpus_per_node = 1;
+  cfg.fabric = fabric;
+  // No decision policy: policy page ops would race the crash schedule
+  // and blur the recovery traffic this sweep exists to measure.
+  cfg.policy = PolicyKind::kNone;
+  if (has_outages(sc)) {
+    cfg.faults.seed = opt.fault_seed_set ? opt.fault_seed : 42;
+    cfg.faults.drop_pct = 2.0;
+    cfg.faults.dup_pct = 1.0;
+    cfg.faults.delay_pct = 2.0;
+    cfg.faults.rand_link_downs = 4;
+  }
+  if (has_crashes(sc)) {
+    cfg.faults.node_downs.push_back(
+        {crash_a(nodes), kWindowDown, kWindowUp});
+    cfg.faults.node_downs.push_back(
+        {crash_b(nodes), kWindowDown + (kWindowUp - kWindowDown) / 4,
+         kWindowUp - (kWindowUp - kWindowDown) / 4});
+  }
+
+  CellResult out(nodes);
+  out.nodes = nodes;
+  out.fabric = fabric;
+  out.scenario = sc;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sys = make_system(cfg, &out.stats);
+
+  const unsigned pages = kPagesPerHome * nodes;
+  const NodeId ca = crash_a(nodes);
+  Cycle t = 0;
+
+  // Warmup: bind homes (first-touch write by the home node), then build
+  // the reader groups. Every 8th page is written *last* by the
+  // soon-to-crash node ca — a dirty exclusive copy still outstanding
+  // when the crash window opens, which dies with the node.
+  for (unsigned p = 0; p < pages; ++p) {
+    const NodeId h = NodeId(p % nodes);
+    t = sys->access({h, h, page_addr(p), true, t}) + 8;
+    for (NodeId r : readers_of(p, nodes, h))
+      t = sys->access({r, r, page_addr(p), false, t}) + 8;
+    if (p % 8 == 3 && h != ca)
+      t = sys->access({ca, ca, page_addr(p), true, t}) + 8;
+  }
+  if (t >= kWindowDown) {
+    std::fprintf(stderr,
+                 "warmup ran into the crash window at %u nodes "
+                 "(t=%llu) — widen kWindowDown\n",
+                 nodes, static_cast<unsigned long long>(t));
+    std::exit(2);
+  }
+
+  // Middle phase: jump the clock into the crash windows and touch every
+  // page from a live remote node. Pages homed on a crashed node force
+  // timeout escalation and an emergency re-home; pages whose dirty
+  // owner crashed force a dead-owner recall (the data-loss path).
+  t = std::max(t, kWindowDown + 1000);
+  for (unsigned p = 0; p < pages; ++p) {
+    const NodeId h = NodeId(p % nodes);
+    const NodeId r = NodeId((h + 3) % nodes);
+    t = sys->access({r, r, page_addr(p), p % 2 == 0, t}) + 8;
+  }
+
+  // Recovery phase: jump past the windows; the crashed nodes are back
+  // up and re-read the pages that were re-homed away from them.
+  t = std::max(t, kWindowUp + 1000);
+  for (unsigned p = 0; p < pages; ++p) {
+    const NodeId h = NodeId(p % nodes);
+    t = sys->access({ca, ca, page_addr(p), false, t}) + 8;
+    t = sys->access({h, h, page_addr(p), false, t}) + 8;
+  }
+
+  sys->check_coherence();
+  out.cycles = t;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                unsigned jobs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    const TrafficBreakdown t = c.stats.traffic_total();
+    const FaultStats& fs = c.stats.faults;
+    std::fprintf(
+        f,
+        "%s  {\"bench\": \"fault_scale\", \"nodes\": %u, \"fabric\": \"%s\", "
+        "\"scenario\": \"%s\",\n"
+        "   \"cycles\": %llu, \"data_bytes\": %llu, \"control_bytes\": %llu, "
+        "\"pageop_bytes\": %llu, \"recovery_bytes\": %llu,\n"
+        "   \"link_bytes_total\": %llu, \"link_max_queue_depth\": %u,\n"
+        "   \"drops_injected\": %llu, \"dups_injected\": %llu, "
+        "\"delays_injected\": %llu, \"retries\": %llu, \"nacks\": %llu, "
+        "\"reroutes\": %llu, \"hard_errors\": %llu,\n"
+        "   \"crash_drops\": %llu, \"rehomes\": %llu, \"dir_rebuilds\": "
+        "%llu, \"data_losses\": %llu,\n"
+        "   \"wall_seconds\": %.4f, \"jobs\": %u}",
+        i == 0 ? "" : ",\n", c.nodes, dsm::to_string(c.fabric),
+        to_string(c.scenario), static_cast<unsigned long long>(c.cycles),
+        static_cast<unsigned long long>(t.bytes_of(TrafficClass::kData)),
+        static_cast<unsigned long long>(t.bytes_of(TrafficClass::kControl)),
+        static_cast<unsigned long long>(t.bytes_of(TrafficClass::kPageOp)),
+        static_cast<unsigned long long>(t.bytes_of(TrafficClass::kRecovery)),
+        static_cast<unsigned long long>(c.stats.link_bytes_total()),
+        c.stats.link_max_queue_depth(),
+        static_cast<unsigned long long>(fs.drops_injected),
+        static_cast<unsigned long long>(fs.dups_injected),
+        static_cast<unsigned long long>(fs.delays_injected),
+        static_cast<unsigned long long>(fs.retries),
+        static_cast<unsigned long long>(fs.nacks),
+        static_cast<unsigned long long>(fs.reroutes),
+        static_cast<unsigned long long>(fs.hard_errors),
+        static_cast<unsigned long long>(fs.crash_drops),
+        static_cast<unsigned long long>(fs.rehomes),
+        static_cast<unsigned long long>(fs.dir_rebuilds),
+        static_cast<unsigned long long>(fs.data_losses), c.wall_seconds,
+        jobs);
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+bool flag_present(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+
+  std::vector<std::uint32_t> node_counts = {8, 64, 256};
+  if (opt.nodes != 0) node_counts = {opt.nodes};
+  std::vector<FabricKind> fabrics = {FabricKind::kMesh2d,
+                                     FabricKind::kTorus2d};
+  if (flag_present(argc, argv, "--fabric")) fabrics = {opt.fabric};
+
+  std::printf(
+      "=== Chaos-at-scale sweep: %u pages/home, crash windows "
+      "[%llu,%llu) ===\n\n",
+      kPagesPerHome, static_cast<unsigned long long>(kWindowDown),
+      static_cast<unsigned long long>(kWindowUp));
+
+  std::vector<CellResult> cells;
+  Table t({"nodes", "fabric", "scenario", "data KB", "ctl KB", "rcvy KB",
+           "retries", "nacks", "rehomes", "rebuilds", "losses", "crash-drops",
+           "hard-errs", "maxQ"});
+  for (std::uint32_t nodes : node_counts) {
+    for (FabricKind fabric : fabrics) {
+      for (unsigned s = 0; s < unsigned(Scenario::kCount); ++s) {
+        CellResult c = run_cell(opt, nodes, fabric, Scenario(s));
+        const TrafficBreakdown tr = c.stats.traffic_total();
+        t.add_row()
+            .cell(std::uint64_t(c.nodes))
+            .cell(dsm::to_string(c.fabric))
+            .cell(to_string(c.scenario))
+            .cell(double(tr.bytes_of(TrafficClass::kData)) / 1024.0, 1)
+            .cell(double(tr.bytes_of(TrafficClass::kControl)) / 1024.0, 1)
+            .cell(double(tr.bytes_of(TrafficClass::kRecovery)) / 1024.0, 1)
+            .cell(c.stats.faults.retries)
+            .cell(c.stats.faults.nacks)
+            .cell(c.stats.faults.rehomes)
+            .cell(c.stats.faults.dir_rebuilds)
+            .cell(c.stats.faults.data_losses)
+            .cell(c.stats.faults.crash_drops)
+            .cell(c.stats.faults.hard_errors)
+            .cell(std::uint64_t(c.stats.link_max_queue_depth()));
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Invariants the sweep exists to demonstrate. Violations fail the run
+  // (and CI with it).
+  bool ok = true;
+  for (const CellResult& c : cells) {
+    const TrafficBreakdown tr = c.stats.traffic_total();
+    const FaultStats& fs = c.stats.faults;
+    if (c.scenario == Scenario::kClean) {
+      // Fault layer off: zero recovery traffic, zero fault counters —
+      // the bit-identical-baseline contract.
+      if (tr.bytes_of(TrafficClass::kRecovery) != 0 || fs.retries != 0 ||
+          fs.nacks != 0 || fs.rehomes != 0 || fs.crash_drops != 0 ||
+          fs.hard_errors != 0) {
+        std::printf("FAIL: clean cell has fault activity at %u/%s\n",
+                    c.nodes, dsm::to_string(c.fabric));
+        ok = false;
+      }
+    }
+    if (has_crashes(c.scenario)) {
+      // Crashed homes must actually be survived: successors elected,
+      // directories rebuilt, and the retry/census traffic visible as
+      // the recovery class.
+      if (fs.rehomes == 0 || fs.dir_rebuilds == 0 ||
+          tr.bytes_of(TrafficClass::kRecovery) == 0) {
+        std::printf("FAIL: crash scenario survived nothing at %u/%s/%s\n",
+                    c.nodes, dsm::to_string(c.fabric),
+                    to_string(c.scenario));
+        ok = false;
+      }
+      // The deliberately-orphaned dirty copies must be counted, not
+      // silently absorbed.
+      if (fs.data_losses == 0) {
+        std::printf("FAIL: orphaned dirty copies uncounted at %u/%s/%s\n",
+                    c.nodes, dsm::to_string(c.fabric),
+                    to_string(c.scenario));
+        ok = false;
+      }
+    }
+  }
+  std::printf(
+      "crashes survived via re-homing; recovery traffic measured; losses "
+      "counted: %s\n",
+      ok ? "yes" : "NO — BUG");
+
+  if (!opt.json_path.empty())
+    write_json(opt.json_path, cells, opt.resolved_jobs());
+  return ok ? 0 : 1;
+}

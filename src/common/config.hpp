@@ -238,10 +238,42 @@ struct FaultConfig {
   Cycle rand_link_down_len = 200000;
   Cycle rand_link_down_horizon = 20'000'000;
 
+  // Whole-node crash schedule (--fault-node-down n@cycle+N): node `node`
+  // is dead for cycles [down, up) — every send from or toward it is
+  // swallowed, its router's mesh links go down (composing with adaptive
+  // reroute), and its home agent stops answering, which triggers
+  // requester-side emergency re-homing. up = kNeverCycle makes the
+  // crash permanent.
+  struct NodeDown {
+    std::uint32_t node = 0;
+    Cycle down = 0;
+    Cycle up = kNeverCycle;
+  };
+  std::vector<NodeDown> node_downs;
+
+  // Seeded random crashes: this many extra NodeDown intervals are drawn
+  // from the plan RNG at construction, each rand_node_down_len cycles
+  // long with start cycles uniform in [0, rand_node_down_horizon).
+  std::uint32_t rand_node_downs = 0;
+  Cycle rand_node_down_len = 400000;
+  Cycle rand_node_down_horizon = 20'000'000;
+
+  // Per-kind fault targeting (--fault-kinds data,ack,...): drop/dup/
+  // delay outcomes apply only to message kinds whose bit is set here.
+  // The per-source draw sequence is consumed for every message
+  // regardless, so narrowing the mask never changes which draws the
+  // remaining kinds see. Default = all kinds injectable.
+  std::uint32_t fault_kinds = ~0u;
+
+  bool targets(std::uint8_t kind) const {
+    return (fault_kinds >> kind) & 1u;
+  }
+
   bool enabled() const {
     return drop_pct > 0.0 || dup_pct > 0.0 || delay_pct > 0.0 ||
            !link_downs.empty() || !node_link_downs.empty() ||
-           rand_link_downs > 0;
+           rand_link_downs > 0 || !node_downs.empty() ||
+           rand_node_downs > 0;
   }
 };
 

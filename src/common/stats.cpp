@@ -18,6 +18,7 @@ const char* to_string(TrafficClass c) {
     case TrafficClass::kData: return "data";
     case TrafficClass::kControl: return "control";
     case TrafficClass::kPageOp: return "page-op";
+    case TrafficClass::kRecovery: return "recovery";
     default: return "?";
   }
 }

@@ -34,6 +34,7 @@ enum class TrafficClass : std::uint8_t {
   kData = 0,   // block data payloads (fills, writebacks)
   kControl,    // coherence-control messages (requests, invals, acks)
   kPageOp,     // bulk page migration/replication copies
+  kRecovery,   // fault recovery: retries, NACKs, directory rebuilds
   kCount,
 };
 
@@ -42,8 +43,8 @@ const char* to_string(TrafficClass c);
 // Per-node interconnect traffic, in bytes and messages, by class.
 // Charged at the sending node by the fabric (net/fabric.hpp).
 struct TrafficBreakdown {
-  std::uint64_t bytes[std::size_t(TrafficClass::kCount)] = {0, 0, 0};
-  std::uint64_t msgs[std::size_t(TrafficClass::kCount)] = {0, 0, 0};
+  std::uint64_t bytes[std::size_t(TrafficClass::kCount)] = {};
+  std::uint64_t msgs[std::size_t(TrafficClass::kCount)] = {};
 
   void add(TrafficClass c, std::uint64_t b) {
     bytes[std::size_t(c)] += b;
@@ -53,8 +54,16 @@ struct TrafficBreakdown {
     return bytes[std::size_t(c)];
   }
   std::uint64_t msgs_of(TrafficClass c) const { return msgs[std::size_t(c)]; }
-  std::uint64_t total_bytes() const { return bytes[0] + bytes[1] + bytes[2]; }
-  std::uint64_t total_msgs() const { return msgs[0] + msgs[1] + msgs[2]; }
+  std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t b : bytes) t += b;
+    return t;
+  }
+  std::uint64_t total_msgs() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t m : msgs) t += m;
+    return t;
+  }
   TrafficBreakdown& operator+=(const TrafficBreakdown& o) {
     for (std::size_t i = 0; i < std::size_t(TrafficClass::kCount); ++i) {
       bytes[i] += o.bytes[i];
@@ -144,6 +153,13 @@ struct FaultStats {
   std::uint64_t reroutes = 0;         // off-preferred mesh hops around dead links
   std::uint64_t aborted_page_ops = 0; // page ops aborted after retry exhaustion
   std::uint64_t hard_errors = 0;      // demand transactions forced through
+
+  // Node-crash model (whole-node faults) and survivable-home recovery.
+  std::uint64_t crash_drops = 0;   // sends/receives swallowed by a dead node
+  std::uint64_t rehomes = 0;       // pages emergency-re-homed off a dead home
+  std::uint64_t dir_rebuilds = 0;  // directory entries reconstructed from
+                                   // survivor responses during a re-home
+  std::uint64_t data_losses = 0;   // dirty owner crashed: no valid copy left
 };
 
 // Directory-memory census (dsm/directory.hpp::usage), snapshotted at

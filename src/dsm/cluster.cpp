@@ -66,6 +66,8 @@ DsmSystem::DsmSystem(const SystemConfig& cfg, Stats* stats)
   if (net_->fault_injection()) {
     txn_seq_.assign(cfg.nodes, 0);
     served_seq_.assign(std::size_t(cfg.nodes) * cfg.nodes, 0);
+    crash_detected_until_.assign(cfg.nodes, 0);
+    fault_plan_ = net_->fault_plan();
   }
 }
 
@@ -104,6 +106,9 @@ Cycle DsmSystem::access(const MemAccess& a) {
   if (a.write && pi.replicated) {
     t = collapse_replicas(page, a.node, t);
     DSM_DEBUG_ASSERT(!pi.replicated);
+    // An emergency re-home during the collapse (dead home) tears every
+    // mapping down; refault the page like any first access.
+    if (pi.mode[a.node] == PageMode::kUnmapped) t = map_page(a, pi, page, t);
   }
 
   // L1 lookup.

@@ -205,15 +205,45 @@ class DsmSystem : public MemorySystem {
   SendOutcome send_reliable(Message m, Cycle t, bool nack_dup);
   // Demand-path send: after retry exhaustion the transaction escalates
   // to the reliable channel and counts a hard error — a demand access
-  // must proceed, never hang the engine.
-  Cycle send_demand(const Message& m, Cycle t, bool nack_dup);
+  // must proceed, never hang the engine. When retry exhaustion is
+  // explained by a destination inside a crash window, the outcome
+  // reports dst_dead instead: the transaction did NOT execute, and the
+  // caller must recover (emergency re-homing for a dead home). A
+  // suspected destination (crash already detected) skips the wire and
+  // the retry storm entirely.
+  struct DemandOutcome {
+    Cycle at;
+    bool dst_dead;
+  };
+  DemandOutcome send_demand(const Message& m, Cycle t, bool nack_dup);
   // Reply leg: a lost reply is recovered by the requester's timeout
   // retransmitting `request` (same transaction) and the responder's
   // duplicate table re-issuing the reply after one directory lookup.
-  // Never fails (escalates after exhaustion).
+  // Never fails (escalates after exhaustion); a reply toward a node in
+  // a crash window is abandoned instead.
   Cycle reply_reliable(const Message& reply, const Message& request,
                        Cycle ready);
   std::uint32_t next_seq(NodeId requester);
+
+  // ---- node-crash failure detector -----------------------------------------
+  // The first retry exhaustion against a node inside a crash window
+  // pays the full timeout storm, then records the window end; until
+  // then the protocol cannot distinguish a dead node from message loss.
+  // Afterward suspect() short-circuits every interaction with the dead
+  // node until its window ends.
+  bool suspect(NodeId n, Cycle t) const {
+    return !crash_detected_until_.empty() && t < crash_detected_until_[n];
+  }
+  void note_crash(NodeId n, Cycle t);
+
+  // Emergency re-homing (dsm/page_ops.cpp): elect the next live node
+  // after `dead_home` as successor, rebuild the page's directory
+  // entries from a survivor census, move the home, and discard the dead
+  // node's copies (a dirty one counts a distinct data loss). Idempotent
+  // when the page already moved. Returns the time the new mapping is
+  // usable.
+  Cycle emergency_rehome(Addr page, NodeId dead_home, NodeId requester,
+                         Cycle t);
 
   // ---- node-level helpers ---------------------------------------------------
   // Invalidate/downgrade every copy of `blk` at node `n` (L1s + BC/PC).
@@ -266,6 +296,11 @@ class DsmSystem : public MemorySystem {
   // requester) duplicate table recording the last sequence served.
   std::vector<std::uint32_t> txn_seq_;
   std::vector<std::uint32_t> served_seq_;
+  // Failure detector: end of the detected crash window per node (0 =
+  // no crash detected). Sized only when the fault layer is on.
+  std::vector<Cycle> crash_detected_until_;
+  // The fault schedule, when a fault decorator wraps the fabric.
+  const FaultPlan* fault_plan_ = nullptr;
 
   Cycle parallel_begin_at_ = 0;
 };

@@ -28,7 +28,17 @@ Cycle DsmSystem::remote_fetch(NodeId requester, Addr page, Addr blk,
   // Request message to home + directory lookup.
   const Message req = Message::control(
       write ? MsgKind::kGetX : MsgKind::kGetS, requester, home, blk);
-  Cycle th = send_demand(req, t, /*nack_dup=*/true);
+  const DemandOutcome ho = send_demand(req, t, /*nack_dup=*/true);
+  if (ho.dst_dead) {
+    // The home is inside a crash window and stopped answering: elect a
+    // successor, rebuild the directory from the survivors, and restart
+    // the access against the new mapping (kInvalid is the restart
+    // signal, exactly like the page-op race below).
+    const Cycle ready = emergency_rehome(page, home, requester, ho.at);
+    *granted = NodeState::kInvalid;
+    return ready;
+  }
+  Cycle th = ho.at;
   const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
   th = device_[home].reserve(th, dir_occ) + dir_occ;
 
@@ -115,7 +125,14 @@ Cycle DsmSystem::remote_upgrade(NodeId requester, Addr page, Addr blk,
 
   const Message up =
       Message::control(MsgKind::kUpgrade, requester, home, blk);
-  Cycle th = send_demand(up, t, /*nack_dup=*/true);
+  const DemandOutcome ho = send_demand(up, t, /*nack_dup=*/true);
+  if (ho.dst_dead) {
+    // Dead home: re-home the page and return without the grant. The
+    // requester's L1 line was not upgraded, so the access path's
+    // re-probe restarts the transaction against the new home.
+    return emergency_rehome(page, home, requester, ho.at);
+  }
+  Cycle th = ho.at;
   const Cycle dir_occ = cfg_.timing.dir_lookup + cfg_.timing.protocol_fsm;
   th = device_[home].reserve(th, dir_occ) + dir_occ;
   const Cycle done = home_service_exclusive(home, requester, blk, th);
@@ -141,7 +158,17 @@ Cycle DsmSystem::home_service_exclusive(NodeId home, NodeId requester,
     e.sharers.for_each(nsl_, [&](NodeId s) {
       if (s == requester) return;
       const Message inv = Message::control(MsgKind::kInval, home, s, blk);
-      Cycle ts = (s == home) ? t : send_demand(inv, t, /*nack_dup=*/false);
+      DemandOutcome so{t, false};
+      if (s != home) so = send_demand(inv, t, /*nack_dup=*/false);
+      if (so.dst_dead) {
+        // Dead sharer: its copy dies with the node. Flush the local
+        // bookkeeping without wire traffic so directory and caches stay
+        // consistent; a shared copy is clean, so nothing is lost.
+        flush_block_at_node(s, blk, /*invalidate=*/true,
+                            MissClass::kCoherence);
+        return;
+      }
+      Cycle ts = so.at;
       const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
       ts = device_[s].reserve(ts, occ) + occ;
       flush_block_at_node(s, blk, /*invalidate=*/true, MissClass::kCoherence);
@@ -185,7 +212,19 @@ Cycle DsmSystem::home_recall_shared(NodeId home, NodeId requester, Addr blk,
 Cycle DsmSystem::recall_from_owner(NodeId home, NodeId owner, Addr blk,
                                    bool invalidate, Cycle t) {
   const Message inv = Message::control(MsgKind::kInval, home, owner, blk);
-  Cycle ts = (owner == home) ? t : send_demand(inv, t, /*nack_dup=*/false);
+  DemandOutcome so{t, false};
+  if (owner != home) so = send_demand(inv, t, /*nack_dup=*/false);
+  if (so.dst_dead) {
+    // The exclusive owner is dead: recall its copy without wire
+    // traffic. A modified copy dies with the node — home memory serves
+    // the last written-back version, and the loss is counted
+    // distinctly (this is the one irrecoverable crash outcome).
+    const bool lost_dirty =
+        flush_block_at_node(owner, blk, invalidate, MissClass::kCoherence);
+    if (lost_dirty) stats_->faults.data_losses++;
+    return so.at;
+  }
+  Cycle ts = so.at;
   const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
   ts = device_[owner].reserve(ts, occ) + occ;
   // Grab the (possibly dirty) data off the owner's bus.

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "dsm/cluster.hpp"
+#include "net/fault.hpp"
 #include "protocols/policy_engine.hpp"
 
 namespace dsm {
@@ -194,7 +195,14 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
       Message::control(MsgKind::kUpgrade, writer_node, home, page);
   if (writer_node != home) {
     wire_bytes += up.total_bytes();
-    th = send_demand(up, t, /*nack_dup=*/true);
+    const DemandOutcome ho = send_demand(up, t, /*nack_dup=*/true);
+    if (ho.dst_dead) {
+      // Dead home: the emergency re-home tears down every replica and
+      // mapping, which *is* the collapse — the page comes back
+      // read-write at the successor and the write refaults it.
+      return emergency_rehome(page, home, writer_node, ho.at);
+    }
+    th = ho.at;
   }
   th = device_[home].reserve(th, cfg_.timing.soft_trap) +
        cfg_.timing.soft_trap;
@@ -209,9 +217,18 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
   pi.replicas.for_each(nsl_, [&](NodeId s) {
     if (s == home) return;
     const Message inv = Message::control(MsgKind::kInval, home, s, page);
+    const DemandOutcome so = send_demand(inv, th, /*nack_dup=*/false);
+    if (so.dst_dead) {
+      // Dead replica holder: its read-only copy dies with it. Flush the
+      // bookkeeping and remap without wire traffic (replicas are clean
+      // by construction, so nothing is lost).
+      flush_page_at_node(s, page, MissClass::kCoherence);
+      if (pi.mode[s] == PageMode::kReplica) pi.mode[s] = PageMode::kCcNuma;
+      return;
+    }
     const Message ack = Message::control(MsgKind::kAck, s, home, page);
     wire_bytes += inv.total_bytes() + ack.total_bytes();
-    Cycle ts = send_demand(inv, th, /*nack_dup=*/false);
+    Cycle ts = so.at;
     flush_page_at_node(s, page, MissClass::kCoherence);
     ts += cfg_.timing.tlb_shootdown;
     stats_->node[s].tlb_shootdowns++;
@@ -241,6 +258,148 @@ Cycle DsmSystem::collapse_replicas(Addr page, NodeId writer_node, Cycle now) {
   ev.now = back;
   engine_->dispatch(ev, &pi);
   return back;
+}
+
+// Survivable homes: emergency re-homing after the page's home node
+// crashed (net/fault.hpp node-crash windows). The requester-side
+// timeout escalation (send_demand reporting dst_dead) lands here. The
+// protocol is the paper's migration teardown re-purposed as recovery:
+//
+//   1. Successor election — the next live node after the dead home in
+//      node order. Deterministic, so every requester (and every engine
+//      shard count) elects the same successor without coordination.
+//   2. Directory reconstruction — the successor queries every live node
+//      for its copies of the page (kRebuild census, recovery-class
+//      traffic riding the sequence-numbered transaction machinery);
+//      dirty survivor copies ship recovery-flagged writebacks so the
+//      successor's memory is current before the teardown discards them.
+//   3. Re-home — migrate-style teardown: every cached copy flushed,
+//      directory entries erased (they start clean at the successor),
+//      S-COMA frames released, all mappings torn down, pi.home moved.
+//      Survivors refault the page against the new home on demand.
+//
+// The dead home's own cached copies die with it: a dirty one means the
+// last write survives nowhere — counted as a distinct data loss, the
+// one irrecoverable crash outcome.
+Cycle DsmSystem::emergency_rehome(Addr page, NodeId dead_home,
+                                  NodeId requester, Cycle t) {
+  PageInfo& pi = pt_.info(page);
+  // Another requester may already have re-homed the page while this one
+  // sat in its timeout storm; the new mapping is simply usable.
+  if (pi.home != dead_home) return std::max(t, pi.op_pending_until);
+  DSM_ASSERT(fault_plan_ != nullptr, "re-homing without a fault plan");
+
+  NodeId succ = kNoNode;
+  for (std::uint32_t i = 1; i < cfg_.nodes; ++i) {
+    const NodeId cand = NodeId((dead_home + i) % cfg_.nodes);
+    if (!fault_plan_->node_down(cand, t)) {
+      succ = cand;
+      break;
+    }
+  }
+  DSM_ASSERT(succ != kNoNode, "no live node left to re-home onto");
+  stats_->faults.rehomes++;
+  stats_->node[succ].soft_traps++;
+  Cycle ready = std::max(t, pi.op_pending_until) + cfg_.timing.soft_trap;
+
+  const Addr first_blk = page << (kPageBits - kBlockBits);
+  // Count the directory entries the census reconstructs, and the dead
+  // home's dirty blocks — those die with it (see above).
+  std::uint64_t rebuilt = 0;
+  for (unsigned i = 0; i < kBlocksPerPage; ++i)
+    if (const DirEntry* e = dir_.find(first_blk + i))
+      if (e->state != DirState::kUncached) rebuilt++;
+  stats_->faults.dir_rebuilds += rebuilt;
+
+  // Non-destructive block probe at a node: present anywhere / dirty.
+  auto probe_block = [&](NodeId n, Addr blk, bool* dirty) {
+    bool has = false;
+    *dirty = false;
+    const CpuId first_cpu = n * cfg_.cpus_per_node;
+    for (CpuId c = first_cpu; c < first_cpu + cfg_.cpus_per_node; ++c)
+      if (const L1Cache::Line* ln = l1_[c]->probe(blk)) {
+        has = true;
+        if (l1_dirty(ln->state)) *dirty = true;
+      }
+    if (const BlockCache::Entry* be = bc_[n]->probe(blk)) {
+      has = true;
+      if (be->state == NodeState::kModified) *dirty = true;
+    }
+    if (const PageCache::Frame* f = pc_[n]->find(page)) {
+      const unsigned bix = unsigned(blk - first_blk);
+      if (f->has(bix)) {
+        has = true;
+        if (f->tag[bix] == NodeState::kModified) *dirty = true;
+      }
+    }
+    return has;
+  };
+
+  for (unsigned i = 0; i < kBlocksPerPage; ++i) {
+    bool dirty = false;
+    if (probe_block(dead_home, first_blk + i, &dirty) && dirty)
+      stats_->faults.data_losses++;
+  }
+
+  // Survivor census (parallel round trips from the successor).
+  Cycle census_done = ready;
+  for (NodeId s = 0; s < cfg_.nodes; ++s) {
+    if (s == succ || s == dead_home) continue;
+    const Message q = Message::rebuild(succ, s, page);
+    const DemandOutcome qo = send_demand(q, ready, /*nack_dup=*/false);
+    if (qo.dst_dead) continue;  // also dead: nothing to learn, or save
+    const Cycle occ = cfg_.timing.bc_lookup + cfg_.timing.protocol_fsm;
+    Cycle ts = device_[s].reserve(qo.at, occ) + occ;
+    // Dirty survivor copies ship home-of-record updates so the
+    // successor's memory is current before the teardown discards them.
+    for (unsigned i = 0; i < kBlocksPerPage; ++i) {
+      bool dirty = false;
+      if (probe_block(s, first_blk + i, &dirty) && dirty) {
+        Message wb = Message::writeback(s, succ, first_blk + i);
+        wb.recovery = true;
+        net_->post(wb, ts);
+      }
+    }
+    Message rep = Message::control(MsgKind::kAck, s, succ, page);
+    rep.recovery = true;
+    census_done = std::max(census_done, reply_reliable(rep, q, ts));
+  }
+
+  // Migrate-style teardown: flush every cached copy, erase the page's
+  // directory entries, release S-COMA frames, tear down every mapping.
+  unsigned flushed = 0;
+  for (NodeId s = 0; s < cfg_.nodes; ++s)
+    flushed += flush_page_at_node(s, page, MissClass::kCoherence);
+  const Cycle rebuild_occ = cfg_.timing.page_op_cost(flushed);
+  ready = device_[succ].reserve(census_done, rebuild_occ) + rebuild_occ;
+  ready += cfg_.timing.tlb_shootdown;
+  stats_->node[succ].tlb_shootdowns++;
+  for (unsigned i = 0; i < kBlocksPerPage; ++i) dir_.erase(first_blk + i);
+  for (NodeId s = 0; s < cfg_.nodes; ++s) {
+    if (PageCache::Frame* f = pc_[s]->find(page)) {
+      DSM_DEBUG_ASSERT(f->valid_blocks == 0, "teardown left blocks in frame");
+      pc_[s]->release(page);
+    }
+  }
+  pi.home = succ;
+  pi.replicated = false;
+  pi.replicas.clear();
+  for (NodeId s = 0; s < cfg_.nodes; ++s)
+    pi.mode[s] = (s == succ) ? PageMode::kCcNuma : PageMode::kUnmapped;
+  pi.op_pending_until = ready;
+
+  // Completion event: like a migration, the new home's monitoring
+  // counters start fresh (the old home's died with it).
+  PolicyEvent ev;
+  ev.kind = PolicyEventKind::kPageOpComplete;
+  ev.op = PageOpKind::kRehome;
+  ev.page = page;
+  ev.node = succ;
+  ev.peer = dead_home;
+  ev.now = ready;
+  engine_->dispatch(ev, &pi);
+  (void)requester;
+  return ready;
 }
 
 Cycle DsmSystem::relocate_to_scoma(NodeId node, Addr page, Cycle now) {

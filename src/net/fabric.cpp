@@ -19,6 +19,7 @@ const char* to_string(MsgKind k) {
     case MsgKind::kHint: return "HINT";
     case MsgKind::kPageBulk: return "PAGE";
     case MsgKind::kNack: return "NACK";
+    case MsgKind::kRebuild: return "REBUILD";
     case MsgKind::kCount: break;
   }
   return "?";

@@ -97,6 +97,11 @@ class Fabric {
   // The underlying topology backend (unwraps fault decorators).
   virtual Fabric* backend() { return this; }
 
+  // The installed fault schedule, when a fault decorator wraps this
+  // fabric; null on a perfect fabric. The recovery layer consults it
+  // for node-crash windows (failure detection, successor election).
+  virtual const FaultPlan* fault_plan() const { return nullptr; }
+
   // Fault-layer hook: charge and occupy the send half of `m` as if it
   // departed normally, but never deliver it — the wire eats the
   // message. Returns the depart time.

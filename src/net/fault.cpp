@@ -9,11 +9,12 @@ namespace dsm {
 namespace {
 
 // Per-source perturbation streams live at 0x10000 + node; the outage
-// generator at 0x20000. Both far from the engine's per-home streams
-// (stream id = node), so fault draws never correlate with wakeup
-// scheduling.
+// generator at 0x20000; the node-crash generator at 0x30000. All far
+// from the engine's per-home streams (stream id = node), so fault draws
+// never correlate with wakeup scheduling.
 constexpr std::uint64_t kSrcStreamBase = 0x10000;
 constexpr std::uint64_t kLinkStream = 0x20000;
+constexpr std::uint64_t kNodeStream = 0x30000;
 
 // Map a percentage onto a threshold over the 53-bit draw space.
 std::uint64_t pct_threshold(double pct) {
@@ -78,6 +79,20 @@ FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint32_t nodes,
   }
   for (const auto& v : link_outages_)
     if (!v.empty()) has_link_faults_ = true;
+
+  node_downs_ = cfg_.node_downs;
+  Rng crash = Rng::for_stream(cfg_.seed, kNodeStream);
+  for (std::uint32_t i = 0; i < cfg_.rand_node_downs; ++i) {
+    const std::uint32_t n = std::uint32_t(crash.next_below(nodes));
+    const Cycle down = crash.next_below(cfg_.rand_node_down_horizon);
+    node_downs_.push_back(
+        FaultConfig::NodeDown{n, down, down + cfg_.rand_node_down_len});
+  }
+  for (const FaultConfig::NodeDown& nd : node_downs_) {
+    DSM_ASSERT(nd.node < nodes, "fault-node-down node out of range");
+    DSM_ASSERT(nd.down < nd.up, "fault-node-down empty window");
+    has_node_faults_ = true;
+  }
 }
 
 FaultPlan::Perturb FaultPlan::draw(NodeId src) {
@@ -87,6 +102,26 @@ FaultPlan::Perturb FaultPlan::draw(NodeId src) {
   if (u < dup_below_) return Perturb::kDup;
   if (u < delay_below_) return Perturb::kDelay;
   return Perturb::kNone;
+}
+
+bool FaultPlan::node_down(NodeId n, Cycle t) const {
+  return node_down_until(n, t) != 0;
+}
+
+Cycle FaultPlan::node_down_until(NodeId n, Cycle t) const {
+  if (!has_node_faults_) return 0;
+  for (const FaultConfig::NodeDown& nd : node_downs_)
+    if (nd.node == n && t >= nd.down && t < nd.up) return nd.up;
+  return 0;
+}
+
+void FaultPlan::add_link_outage(std::uint32_t router, LinkDir d, Cycle down,
+                                Cycle up) {
+  const std::size_t idx =
+      std::size_t(router) * std::size_t(LinkDir::kCount) + std::size_t(d);
+  DSM_ASSERT(idx < link_outages_.size(), "link outage out of range");
+  link_outages_[idx].push_back(Outage{down, up});
+  has_link_faults_ = true;
 }
 
 bool FaultPlan::link_down(std::uint32_t router, LinkDir d, Cycle t) const {
@@ -114,8 +149,23 @@ FaultyFabric::FaultyFabric(std::unique_ptr<Fabric> inner,
                 return mesh->routers();
               return inner_->nodes();
             }()) {
-  if (auto* mesh = dynamic_cast<MeshFabric*>(inner_.get()))
+  if (auto* mesh = dynamic_cast<MeshFabric*>(inner_.get())) {
     mesh->set_fault_plan(&plan_);
+    // Fold node crashes into the dead router's links: its four outgoing
+    // links and every neighbor's link toward it are down for the crash
+    // window, so adaptive routing (pick_step) detours around the dead
+    // router exactly as it does around scheduled link outages.
+    for (const FaultConfig::NodeDown& nd : plan_.node_downs()) {
+      for (std::uint8_t d = 0; d < std::uint8_t(LinkDir::kCount); ++d) {
+        plan_.add_link_outage(nd.node, LinkDir(d), nd.down, nd.up);
+        const std::uint32_t nb = mesh->neighbor(nd.node, LinkDir(d));
+        if (nb == MeshFabric::kNoRouter) continue;
+        for (std::uint8_t bd = 0; bd < std::uint8_t(LinkDir::kCount); ++bd)
+          if (mesh->neighbor(nb, LinkDir(bd)) == nd.node)
+            plan_.add_link_outage(nb, LinkDir(bd), nd.down, nd.up);
+      }
+    }
+  }
 }
 
 FaultyFabric::~FaultyFabric() {
@@ -133,12 +183,35 @@ Cycle FaultyFabric::send(const Message& m, Cycle ready) {
 }
 
 void FaultyFabric::post(const Message& m, Cycle ready) {
+  // Fire-and-forget traffic to or from a dead node is swallowed on the
+  // wire; the caller's synchronous state updates are unaffected.
+  if (plan_.has_node_faults() &&
+      (plan_.node_down(m.src, ready) || plan_.node_down(m.dst, ready))) {
+    faults().crash_drops++;
+    return;
+  }
   FaultPlan::SuspendScope reliable(&plan_);
   inner_->post(m, ready);
 }
 
 Delivery FaultyFabric::send_ex(const Message& m, Cycle ready) {
-  switch (plan_.draw(m.src)) {
+  if (plan_.has_node_faults()) {
+    // A crashed source never reaches the wire (no NI charge); a message
+    // toward a crashed destination is swallowed after the send half.
+    // Both are judged at send time, like the perturbation draw.
+    if (plan_.node_down(m.src, ready)) {
+      faults().crash_drops++;
+      return Delivery{ready, false, false};
+    }
+    if (plan_.node_down(m.dst, ready)) {
+      faults().crash_drops++;
+      return Delivery{inner_->drop_after_send(m, ready), false, false};
+    }
+  }
+  FaultPlan::Perturb p = plan_.draw(m.src);
+  if (p != FaultPlan::Perturb::kNone && !plan_.targets(m.kind))
+    p = FaultPlan::Perturb::kNone;
+  switch (p) {
     case FaultPlan::Perturb::kDrop:
       // The sender's NI and byte accounting see a normal departure; the
       // wire eats the message.

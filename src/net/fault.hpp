@@ -18,6 +18,17 @@
 //     consults the plan per hop and detours around dead links
 //     (fabric.cpp pick_step), counting reroutes.
 //
+//   - Whole-node crash windows ([down, up) per node), from an explicit
+//     list plus optionally a seeded batch drawn from stream 0x30000. A
+//     crashed node's sends never reach the wire and messages toward it
+//     are swallowed after the send half (FaultyFabric::send_ex); on a
+//     mesh/torus its router's links additionally go down for the
+//     window, so adaptive routing detours around the dead router. The
+//     node_down queries are deliberately NOT suspension-gated — a dead
+//     node is dead for the reliable channel's *protocol* too; the
+//     recovery layer (dsm/recovery.cpp) consults them to decide when
+//     retrying is pointless and emergency re-homing must take over.
+//
 // FaultyFabric is the injecting decorator make_fabric() installs when
 // FaultConfig::enabled(). Only send_ex() is perturbed; the plain
 // send()/post() channel suspends the plan for the duration of the call
@@ -50,11 +61,32 @@ class FaultPlan {
   Perturb draw(NodeId src);
   Cycle delay_cycles() const { return cfg_.delay_cycles; }
 
+  // Per-kind targeting (--fault-kinds): a draw whose message kind is
+  // outside the mask is discarded, never re-rolled, so narrowing the
+  // mask leaves the surviving kinds' decisions untouched.
+  bool targets(MsgKind k) const { return cfg_.targets(std::uint8_t(k)); }
+
   // Link-outage queries (mesh/torus routing). link_down() is false
   // while the plan is suspended: the reliable channel routes as if the
   // fabric were perfect.
   bool has_link_faults() const { return has_link_faults_; }
   bool link_down(std::uint32_t router, LinkDir d, Cycle t) const;
+
+  // Node-crash queries (never suspension-gated; see the header comment).
+  bool has_node_faults() const { return has_node_faults_; }
+  bool node_down(NodeId n, Cycle t) const;
+  // End of the crash window containing `t` (kNeverCycle for a permanent
+  // crash); 0 when the node is live at `t`.
+  Cycle node_down_until(NodeId n, Cycle t) const;
+  // The full materialized crash schedule (explicit + seeded draws).
+  const std::vector<FaultConfig::NodeDown>& node_downs() const {
+    return node_downs_;
+  }
+
+  // Installs an extra directed-link outage after construction — the
+  // fault decorator folds node crashes into the dead router's links
+  // once it knows the mesh adjacency.
+  void add_link_outage(std::uint32_t router, LinkDir d, Cycle down, Cycle up);
 
   bool suspended() const { return suspend_ > 0; }
 
@@ -86,7 +118,9 @@ class FaultPlan {
   std::uint64_t delay_below_ = 0;
   std::vector<Rng> src_rng_;                       // per source node
   std::vector<std::vector<Outage>> link_outages_;  // router*4 + dir
+  std::vector<FaultConfig::NodeDown> node_downs_;  // crash windows
   bool has_link_faults_ = false;
+  bool has_node_faults_ = false;
   int suspend_ = 0;
 };
 
@@ -110,6 +144,7 @@ class FaultyFabric final : public Fabric {
 
   bool fault_injection() const override { return true; }
   Fabric* backend() override { return inner_->backend(); }
+  const FaultPlan* fault_plan() const override { return &plan_; }
 
   std::uint64_t messages() const override { return inner_->messages(); }
   std::uint64_t messages(MsgKind k) const override {

@@ -15,6 +15,9 @@
 //   control   payload-free coherence protocol messages (kGetS, kGetX,
 //             kUpgrade, kInval, kAck, kHint)
 //   page-op   bulk page-operation transfers (kPageBulk)
+//   recovery  fault-recovery traffic: NACKs, directory-rebuild queries,
+//             and any message flagged `recovery` (retransmissions,
+//             rebuild replies) — zero with the fault layer off
 #pragma once
 
 #include <cstdint>
@@ -39,6 +42,7 @@ enum class MsgKind : std::uint8_t {
   kHint,       // clean-replacement notice to the home directory
   kPageBulk,   // bulk page copy (migration / replication)
   kNack,       // duplicate-transaction rejection from the home
+  kRebuild,    // directory-rebuild census query (emergency re-homing)
   kCount,
 };
 
@@ -52,6 +56,9 @@ constexpr TrafficClass traffic_class(MsgKind k) {
       return TrafficClass::kData;
     case MsgKind::kPageBulk:
       return TrafficClass::kPageOp;
+    case MsgKind::kNack:
+    case MsgKind::kRebuild:
+      return TrafficClass::kRecovery;
     default:
       return TrafficClass::kControl;
   }
@@ -71,6 +78,10 @@ struct Message {
   // 0 with the fault layer off; reliable transactions stamp a per-
   // requester sequence so retransmissions are idempotent.
   std::uint32_t seq = 0;
+  // Fault-recovery traffic marker: set on retransmissions and on
+  // directory-rebuild replies so their bytes land in the `recovery`
+  // class regardless of kind. Never set with the fault layer off.
+  bool recovery = false;
 
   std::uint32_t header_bytes() const { return kMsgHeaderBytes; }
   std::uint32_t payload_bytes() const {
@@ -79,7 +90,9 @@ struct Message {
   std::uint32_t total_bytes() const {
     return header_bytes() + payload_bytes();
   }
-  TrafficClass cls() const { return traffic_class(kind); }
+  TrafficClass cls() const {
+    return recovery ? TrafficClass::kRecovery : traffic_class(kind);
+  }
 
   // --- constructors for the protocol's message shapes ---------------------
   // Payload-free coherence-control message (requests, invals, acks, hints).
@@ -103,6 +116,10 @@ struct Message {
   // from this requester; the in-flight (or re-issued) reply stands.
   static Message nack(NodeId src, NodeId dst, Addr blk, std::uint32_t seq) {
     return Message{MsgKind::kNack, src, dst, blk, 0, seq};
+  }
+  // Directory-rebuild census query for `page` during emergency re-homing.
+  static Message rebuild(NodeId src, NodeId dst, Addr page) {
+    return Message{MsgKind::kRebuild, src, dst, page, 0};
   }
 };
 

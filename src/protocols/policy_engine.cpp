@@ -91,8 +91,10 @@ void PolicyEngine::observe(PolicyEvent& ev, PageObs& obs,
       // so the policy can re-trigger once the page-op window drains.
       if (ev.failed) break;
       // Migration starts the page's counter history over (the old
-      // home's usage comparison is meaningless at the new home).
-      if (ev.op == PageOpKind::kMigrate) obs.reset_migrep_counters();
+      // home's usage comparison is meaningless at the new home) — and
+      // so does an emergency re-home, whose counters died with the home.
+      if (ev.op == PageOpKind::kMigrate || ev.op == PageOpKind::kRehome)
+        obs.reset_migrep_counters();
       // Any completed op settles the byte ledger: the competitive
       // argument restarts from zero accumulated traffic.
       obs.reset_remote_bytes();

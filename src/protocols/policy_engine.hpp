@@ -62,8 +62,15 @@ enum class PolicyEventKind : std::uint8_t {
 
 const char* to_string(PolicyEventKind k);
 
-// Which mechanism a kPageOpComplete reports.
-enum class PageOpKind : std::uint8_t { kMigrate = 0, kReplicate, kRelocate };
+// Which mechanism a kPageOpComplete reports. kRehome is the emergency
+// re-homing of a crashed home (dsm/page_ops.cpp survivable-homes
+// recovery) — mechanically a migration, but policy-initiated never.
+enum class PageOpKind : std::uint8_t {
+  kMigrate = 0,
+  kReplicate,
+  kRelocate,
+  kRehome,
+};
 
 struct PolicyEvent {
   PolicyEventKind kind = PolicyEventKind::kMiss;

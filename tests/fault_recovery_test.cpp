@@ -191,6 +191,39 @@ TEST(FaultyFabric, FaultsOffDrawsNothing) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-kind fault targeting
+// ---------------------------------------------------------------------------
+
+TEST(FaultKinds, MaskGatesOutcomesWithoutShiftingDraws) {
+  // The draw is consumed for every injectable message and only the
+  // *outcome* is discarded for untargeted kinds — so narrowing the mask
+  // to data messages must leave each data message's fate exactly where
+  // it was under the all-kinds mask.
+  FaultConfig all = plan_cfg(50, 0, 0, /*seed=*/9);
+  FaultConfig data_only = all;
+  data_only.fault_kinds = 1u << std::uint8_t(MsgKind::kData);
+  FaultyNi fa(all), fd(data_only);
+  int data_msgs = 0, control_dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Alternate control and data traffic from the same source stream.
+    const MsgKind k = (i % 2 == 0) ? MsgKind::kGetS : MsgKind::kData;
+    const Message m = (k == MsgKind::kData) ? Message::data(0, 1, 0)
+                                            : Message::control(k, 0, 1, 0);
+    const Delivery da = fa.net->send_ex(m, Cycle(1000 + i * 100));
+    const Delivery dd = fd.net->send_ex(m, Cycle(1000 + i * 100));
+    if (k == MsgKind::kData) {
+      data_msgs++;
+      EXPECT_EQ(da.delivered, dd.delivered) << "data draw " << i;
+    } else {
+      if (!da.delivered) control_dropped++;
+      EXPECT_TRUE(dd.delivered) << "masked control message perturbed";
+    }
+  }
+  EXPECT_GT(data_msgs, 0);
+  EXPECT_GT(control_dropped, 0);  // the all-kinds run really dropped some
+}
+
+// ---------------------------------------------------------------------------
 // Mesh link outages and adaptive rerouting
 // ---------------------------------------------------------------------------
 
@@ -349,6 +382,157 @@ TEST(Recovery, BulkPageOpAbortsCleanly) {
   s.sys->check_coherence();
 }
 
+TEST(FaultKinds, EmptyMaskInjectsNothing) {
+  FaultConfig fc = plan_cfg(100, 0, 0);
+  fc.fault_kinds = 0;
+  FaultySystem s(SystemKind::kCcNuma, fc);
+  Cycle t = 1000;
+  for (int i = 0; i < 50; ++i) {
+    const NodeId n = NodeId(i % 4);
+    t = s.go(n, Addr(0x10000 + (i % 8) * kBlockBytes), (i % 2) == 0, t) + 10;
+  }
+  EXPECT_EQ(s.stats.faults.drops_injected, 0u);
+  EXPECT_EQ(s.stats.faults.retries, 0u);
+  EXPECT_EQ(s.stats.faults.hard_errors, 0u);
+  s.sys->check_coherence();
+}
+
+// ---------------------------------------------------------------------------
+// Node crashes and survivable homes
+// ---------------------------------------------------------------------------
+
+// A crash-only fault config: no seeded perturbations, just the
+// deterministic node-down schedule (which enables the layer on its own).
+FaultConfig crash_cfg(std::initializer_list<FaultConfig::NodeDown> downs) {
+  FaultConfig fc;
+  for (const auto& nd : downs) fc.node_downs.push_back(nd);
+  return fc;
+}
+
+TEST(CrashRecovery, SuccessorElectionIsDeterministic) {
+  // Node 1 homes a page, then crashes for good. The first requester to
+  // time out against it re-homes the page onto the next live node in
+  // ring order — node 2.
+  FaultySystem s(SystemKind::kCcNuma, crash_cfg({{1, 50000, kNeverCycle}}));
+  const Addr a = 0x40000;
+  Cycle t = s.go(1, a, true, 0);       // first touch: home = 1
+  t = s.go(2, a + kBlockBytes, false, t + 10);  // sharer before the crash
+  ASSERT_LT(t, 50000u);
+  t = s.go(2, a, false, std::max<Cycle>(t + 10, 60000));  // home is dead
+  EXPECT_EQ(s.stats.faults.rehomes, 1u);
+  const PageInfo* pi = s.sys->page_table().find(page_of(a));
+  ASSERT_NE(pi, nullptr);
+  EXPECT_EQ(pi->home, 2u);
+  // Later accesses find the live successor: no further re-homing.
+  t = s.go(3, a, false, t + 10);
+  EXPECT_EQ(s.stats.faults.rehomes, 1u);
+  s.sys->check_coherence();
+}
+
+TEST(CrashRecovery, SuccessorElectionSkipsDeadNodes) {
+  // Nodes 1 and 2 are both down when the timeout fires: the ring walk
+  // skips the dead successor candidate and lands on node 3.
+  FaultySystem s(SystemKind::kCcNuma, crash_cfg({{1, 50000, kNeverCycle},
+                                                 {2, 50000, kNeverCycle}}));
+  const Addr a = 0x40000;
+  Cycle t = s.go(1, a, true, 0);
+  ASSERT_LT(t, 50000u);
+  t = s.go(3, a, false, std::max<Cycle>(t + 10, 60000));
+  EXPECT_EQ(s.stats.faults.rehomes, 1u);
+  EXPECT_EQ(s.sys->page_table().find(page_of(a))->home, 3u);
+  s.sys->check_coherence();
+}
+
+TEST(CrashRecovery, DirectoryRebuiltFromSurvivorCensus) {
+  // Home 1 holds live directory entries for blocks shared by the
+  // survivors. Re-homing must rebuild those entries at the successor
+  // from the census, and the post-rebuild directory must pass the
+  // global invariant.
+  FaultySystem s(SystemKind::kCcNuma, crash_cfg({{1, 50000, kNeverCycle}}));
+  const Addr a = 0x50000;
+  Cycle t = s.go(1, a, true, 0);  // home = 1
+  for (NodeId r : {NodeId(0), NodeId(2), NodeId(3)}) {
+    t = s.go(r, a, false, t + 10);
+    t = s.go(r, a + kBlockBytes, false, t + 10);
+  }
+  ASSERT_LT(t, 50000u) << "setup ran into the crash window";
+  // A cold block on the page: node 2's read cannot be served from its
+  // own caches, so it must discover the dead home and re-home the page.
+  t = s.go(2, a + 2 * kBlockBytes, false, std::max<Cycle>(t + 10, 60000));
+  EXPECT_EQ(s.stats.faults.rehomes, 1u);
+  EXPECT_GT(s.stats.faults.dir_rebuilds, 0u);
+  // Survivors re-read through the rebuilt directory at the new home.
+  t = s.go(3, a + kBlockBytes, false, t + 10);
+  t = s.go(0, a, false, t + 10);
+  EXPECT_EQ(s.stats.faults.data_losses, 0u);  // all copies were clean
+  s.sys->check_coherence();
+}
+
+TEST(CrashRecovery, DirtyOwnerCrashIsCountedDataLoss) {
+  // Node 1 holds the only modified copy of a block homed at node 0 when
+  // it crashes. The recall finds a dead owner: home memory serves the
+  // stale version and the loss is counted — never silently absorbed.
+  FaultySystem s(SystemKind::kCcNuma, crash_cfg({{1, 50000, kNeverCycle}}));
+  const Addr a = 0x60000;
+  Cycle t = s.go(0, a, true, 0);       // home = 0
+  t = s.go(1, a, true, t + 10);        // dirty exclusive at node 1
+  ASSERT_LT(t, 50000u);
+  // Recall hits a corpse: the dirty copy died with node 1.
+  t = s.go(2, a, false, std::max<Cycle>(t + 10, 60000));
+  EXPECT_EQ(s.stats.faults.data_losses, 1u);
+  s.sys->check_coherence();
+}
+
+TEST(CrashRecovery, CleanSharerCrashCompletesWithZeroLoss) {
+  // The headline survivability case: a single non-home node crashes on
+  // a 64-node mesh while holding only clean copies. The workload
+  // completes, the dead sharer is invalidated without wire traffic,
+  // and no data is lost.
+  FaultConfig fc = crash_cfg({{5, 100000, 400000}});
+  SystemConfig cfg = SystemConfig::base(SystemKind::kCcNuma);
+  cfg.nodes = 64;
+  cfg.cpus_per_node = 1;
+  cfg.fabric = FabricKind::kMesh2d;
+  cfg.faults = fc;
+  Stats stats(64);
+  auto sys = make_system(cfg, &stats);
+  auto go = [&](NodeId n, Addr a, bool w, Cycle t) {
+    return sys->access({n, n, a, w, t});
+  };
+  const Addr a = 0x70000;
+  Cycle t = go(0, a, true, 0);  // home = 0
+  for (NodeId r : {NodeId(3), NodeId(5), NodeId(9)})
+    t = go(r, a, false, t + 10);
+  ASSERT_LT(t, 100000u) << "setup ran into the crash window";
+  // Inside the window: the home upgrades, invalidating the sharer set —
+  // node 5's copy dies with the node, clean.
+  t = go(0, a, true, std::max<Cycle>(t + 10, 150000));
+  // Survivors re-read; after the window node 5 itself comes back.
+  t = go(3, a, false, t + 10);
+  t = go(5, a, false, std::max<Cycle>(t + 10, 450000));
+  EXPECT_EQ(stats.faults.data_losses, 0u);
+  EXPECT_EQ(stats.faults.rehomes, 0u);  // the home never died
+  sys->check_coherence();
+}
+
+TEST(CrashRecovery, CrashWindowEndsSuspicion) {
+  // A windowed crash is forgiven: once the node is back up, the
+  // failure detector stops short-circuiting and traffic flows again
+  // without hard errors.
+  // The window must outlast the retry storm, or a late retransmission
+  // reaches the recovered node and the transaction simply completes.
+  FaultySystem s(SystemKind::kCcNuma, crash_cfg({{1, 50000, 2000000}}));
+  const Addr a = 0x80000;
+  Cycle t = s.go(1, a, true, 0);  // home = 1
+  t = s.go(2, a, false, 60000);   // dead home: re-homed away
+  EXPECT_EQ(s.stats.faults.rehomes, 1u);
+  const std::uint64_t errs = s.stats.faults.hard_errors;
+  // After the window, node 1 reads its old page at its new home.
+  t = s.go(1, a, false, std::max<Cycle>(t + 10, 2100000));
+  EXPECT_EQ(s.stats.faults.hard_errors, errs);
+  s.sys->check_coherence();
+}
+
 // ---------------------------------------------------------------------------
 // Chaos soak
 // ---------------------------------------------------------------------------
@@ -368,7 +552,11 @@ bool operator==(const ChaosResult& a, const ChaosResult& b) {
          a.faults.nacks == b.faults.nacks &&
          a.faults.reroutes == b.faults.reroutes &&
          a.faults.aborted_page_ops == b.faults.aborted_page_ops &&
-         a.faults.hard_errors == b.faults.hard_errors;
+         a.faults.hard_errors == b.faults.hard_errors &&
+         a.faults.crash_drops == b.faults.crash_drops &&
+         a.faults.rehomes == b.faults.rehomes &&
+         a.faults.dir_rebuilds == b.faults.dir_rebuilds &&
+         a.faults.data_losses == b.faults.data_losses;
 }
 
 // run_one() with the two extra assertions the harness cannot make:
@@ -505,6 +693,39 @@ TEST(ChaosSoak, CoarseVectorSoakBeyondThe32NodeBoundary) {
   EXPECT_TRUE(serial == sharded);
   EXPECT_GT(serial.faults.drops_injected, 0u);
   EXPECT_GT(serial.faults.retries, 0u);
+}
+
+TEST(ChaosSoak, CrashSchedulesAreEngineInvariant) {
+  // A 64-node mesh soak with two crash windows layered on the seeded
+  // perturbations. Crash detection, timeout escalation, successor
+  // election, and the survivor census all key off engine-invariant
+  // state, so the full fault/recovery ledger — including the four crash
+  // counters — must be identical across the serial engine and every
+  // shard count and drive mode, with workload verification and the
+  // coherence invariant green inside run_chaos() each time.
+  auto crashy = [](std::uint32_t shards, bool overlap, bool threads) {
+    RunSpec spec = chaos_spec(2.0, shards);
+    spec.system.nodes = 64;
+    spec.system.cpus_per_node = 1;
+    spec.system.fabric = FabricKind::kMesh2d;
+    spec.system.faults.node_downs.push_back({0, 100000, 300000});
+    spec.system.faults.node_downs.push_back({1, 150000, 350000});
+    spec.system.shard_overlap = overlap;
+    if (threads)
+      spec.system.shard_threads = SystemConfig::ShardThreads::kThreaded;
+    return spec;
+  };
+  const ChaosResult serial = run_chaos(crashy(0, false, false));
+  EXPECT_GT(serial.faults.crash_drops + serial.faults.rehomes, 0u)
+      << "crash windows missed the run entirely";
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    const ChaosResult inline_drive = run_chaos(crashy(shards, false, false));
+    const ChaosResult threaded = run_chaos(crashy(shards, false, true));
+    const ChaosResult overlap = run_chaos(crashy(shards, true, true));
+    EXPECT_TRUE(serial == inline_drive) << "shards " << shards << " inline";
+    EXPECT_TRUE(serial == threaded) << "shards " << shards << " threaded";
+    EXPECT_TRUE(serial == overlap) << "shards " << shards << " overlap";
+  }
 }
 
 }  // namespace
